@@ -1,0 +1,96 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench is a standalone binary that prints the rows/series of one
+// table or figure from the paper (plus ablations). Pass --quick to cut
+// replication counts (CI smoke); pass --full for higher precision.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace synergy::bench {
+
+enum class Effort { kQuick, kDefault, kFull };
+
+inline Effort parse_effort(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return Effort::kQuick;
+    if (std::strcmp(argv[i], "--full") == 0) return Effort::kFull;
+  }
+  return Effort::kDefault;
+}
+
+inline std::size_t scaled(Effort effort, std::size_t quick, std::size_t def,
+                          std::size_t full) {
+  switch (effort) {
+    case Effort::kQuick: return quick;
+    case Effort::kDefault: return def;
+    case Effort::kFull: return full;
+  }
+  return def;
+}
+
+inline void heading(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+/// Log-scale ASCII chart of one or more series over a shared x-axis.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+inline void ascii_log_chart(const std::vector<double>& x,
+                            const std::vector<Series>& series,
+                            const char* x_label, const char* y_label,
+                            int rows = 14, int cols = 60) {
+  double lo = 1e300, hi = 0;
+  for (const auto& s : series) {
+    for (double v : s.y) {
+      if (v <= 0) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi <= 0) return;
+  lo = std::pow(10.0, std::floor(std::log10(lo)));
+  hi = std::pow(10.0, std::ceil(std::log10(hi)));
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = "ox+*#"[si % 5];
+    for (std::size_t i = 0; i < series[si].y.size() && i < x.size(); ++i) {
+      const double v = series[si].y[i];
+      if (v <= 0) continue;
+      const int col = static_cast<int>(
+          (static_cast<double>(i) / std::max<std::size_t>(1, x.size() - 1)) *
+          (cols - 1));
+      int row = static_cast<int>((std::log10(v) - llo) / (lhi - llo) *
+                                 (rows - 1));
+      row = std::min(rows - 1, std::max(0, row));
+      grid[rows - 1 - row][col] = mark;
+    }
+  }
+  std::printf("%s (log scale)\n", y_label);
+  for (int r = 0; r < rows; ++r) {
+    const double level =
+        std::pow(10.0, lhi - (lhi - llo) * r / (rows - 1));
+    std::printf("%9.1f |%s|\n", level, grid[r].c_str());
+  }
+  std::printf("          +%s+\n", std::string(cols, '-').c_str());
+  std::printf("           %-10g%*s%g   (%s)\n", x.front(),
+              cols - 14, "", x.back(), x_label);
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    std::printf("           %c = %s\n", "ox+*#"[si % 5],
+                series[si].name.c_str());
+  }
+}
+
+}  // namespace synergy::bench

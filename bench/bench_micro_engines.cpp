@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark): protocol-operation costs.
+#include <benchmark/benchmark.h>
+
+#include "app/state.hpp"
+#include "core/system.hpp"
+#include "sim/simulator.hpp"
+
+namespace synergy {
+namespace {
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(TimePoint{i}, [&sink, i] { sink += i; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ApplicationStateStep(benchmark::State& state) {
+  ApplicationState app(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    app.local_step(++i);
+    benchmark::DoNotOptimize(app.output());
+  }
+}
+BENCHMARK(BM_ApplicationStateStep);
+
+void BM_ApplicationStateSnapshotRestore(benchmark::State& state) {
+  ApplicationState app(1);
+  for (auto _ : state) {
+    const Bytes snap = app.snapshot();
+    app.restore(snap);
+    benchmark::DoNotOptimize(snap.size());
+  }
+}
+BENCHMARK(BM_ApplicationStateSnapshotRestore);
+
+void BM_CheckpointRecordRoundTrip(benchmark::State& state) {
+  CheckpointRecord rec;
+  rec.owner = kP2;
+  rec.app_state = Bytes(128, 0xAB);
+  rec.protocol_state = Bytes(static_cast<std::size_t>(state.range(0)), 0xCD);
+  for (auto _ : state) {
+    ByteWriter w;
+    rec.serialize(w);
+    ByteReader r(w.data());
+    const CheckpointRecord back = CheckpointRecord::deserialize(r);
+    benchmark::DoNotOptimize(back.app_state.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rec.encoded_size()));
+}
+BENCHMARK(BM_CheckpointRecordRoundTrip)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_MessageRoundTripThroughSystem(benchmark::State& state) {
+  // Cost of one internal message end to end: P1act send (engine + pseudo
+  // checkpointing) -> network -> P2 consume (Type-1, dirty bookkeeping).
+  SystemConfig c;
+  c.scheme = Scheme::kCoordinated;
+  c.workload = WorkloadParams{0, 0, 0, 0, 0};
+  c.tb.interval = Duration::seconds(1'000'000);
+  c.record_history = false;
+  c.enable_trace = false;
+  System system(c);
+  system.start(TimePoint::origin() + Duration::seconds(2'000'000'000));
+  std::uint64_t input = 0;
+  for (auto _ : state) {
+    system.p1act().on_app_send(false, ++input);
+    system.p1sdw().on_app_send(false, input);
+    system.run_until(system.sim().now() + Duration::millis(50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageRoundTripThroughSystem);
+
+void BM_ValidationBroadcast(benchmark::State& state) {
+  SystemConfig c;
+  c.scheme = Scheme::kCoordinated;
+  c.workload = WorkloadParams{0, 0, 0, 0, 0};
+  c.tb.interval = Duration::seconds(1'000'000);
+  c.record_history = false;
+  c.enable_trace = false;
+  System system(c);
+  system.start(TimePoint::origin() + Duration::seconds(2'000'000'000));
+  std::uint64_t input = 0;
+  for (auto _ : state) {
+    system.p1act().on_app_send(false, ++input);
+    system.p1sdw().on_app_send(false, input);
+    system.p1act().on_app_send(true, ++input);  // AT + broadcast
+    system.p1sdw().on_app_send(true, input);
+    system.run_until(system.sim().now() + Duration::millis(50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValidationBroadcast);
+
+void BM_StableCheckpointWrite(benchmark::State& state) {
+  SystemConfig c;
+  c.scheme = Scheme::kCoordinated;
+  c.workload = WorkloadParams{0, 0, 0, 0, 0};
+  c.tb.interval = Duration::seconds(10);
+  c.record_history = false;
+  c.enable_trace = false;
+  System system(c);
+  system.start(TimePoint::origin() + Duration::seconds(2'000'000'000));
+  for (auto _ : state) {
+    // One full TB cycle across all three nodes.
+    system.run_until(system.sim().now() + Duration::seconds(10));
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_StableCheckpointWrite);
+
+}  // namespace
+}  // namespace synergy

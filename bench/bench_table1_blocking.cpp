@@ -1,0 +1,121 @@
+// Table 1 — Comparison of Original and Adapted TB Protocols.
+//
+// Regenerates the paper's comparison table from *measured* behaviour:
+// blocking-period lengths for clean/contaminated expiries, checkpoint
+// contents chosen, message kinds processed during blocking, and the
+// purpose each mechanism serves.
+#include "bench_common.hpp"
+
+using namespace synergy;
+using namespace synergy::bench;
+
+namespace {
+
+struct Measured {
+  Duration tau_clean = Duration::zero();
+  Duration tau_dirty = Duration::zero();
+  std::uint64_t copies = 0;
+  std::uint64_t currents = 0;
+  std::uint64_t replacements = 0;
+  std::size_t passed_at_during_blocking_processed = 0;
+  std::size_t passed_at_during_blocking_held = 0;
+};
+
+Measured measure(Scheme scheme) {
+  SystemConfig c;
+  c.scheme = scheme;
+  c.seed = 11;
+  c.workload.p1_internal_rate = 4.0;
+  c.workload.p2_internal_rate = 4.0;
+  c.workload.p1_external_rate = 1.0;  // frequent validations: both races
+  c.workload.p2_external_rate = 1.0;
+  c.workload.step_rate = 0.0;
+  c.tb.interval = Duration::seconds(5);
+  System system(c);
+  system.start(TimePoint::origin() + Duration::seconds(400));
+  system.run();
+
+  Measured m;
+  TbEngine* tb = system.node(kP2).tb();
+  m.tau_clean = tb->blocking_period(false);
+  m.tau_dirty = tb->blocking_period(true);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    TbEngine* t = system.node(ProcessId{i}).tb();
+    m.copies += t->copy_contents();
+    m.currents += t->current_contents();
+    m.replacements += t->replacements();
+  }
+  // Classify passed-AT arrivals during blocking: processed immediately
+  // (adapted) vs held (original).
+  bool blocked[3] = {false, false, false};
+  for (const auto& e : system.trace().events()) {
+    const auto p = e.process.value();
+    if (p > 2) continue;
+    switch (e.kind) {
+      case TraceKind::kBlockStart: blocked[p] = true; break;
+      case TraceKind::kBlockEnd: blocked[p] = false; break;
+      case TraceKind::kHoldBlocked:
+        if (e.detail == "passed_AT") ++m.passed_at_during_blocking_held;
+        break;
+      case TraceKind::kReceive:
+        break;
+      case TraceKind::kNdcGateReject:
+      case TraceKind::kDirtyClear:
+      case TraceKind::kPseudoDirtyClear:
+        if (blocked[p]) ++m.passed_at_during_blocking_processed;
+        break;
+      default: break;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)parse_effort(argc, argv);
+  heading("Table 1: Original vs Adapted TB protocol");
+
+  const Measured orig = measure(Scheme::kNaive);        // original TB
+  const Measured adap = measure(Scheme::kCoordinated);  // adapted TB
+
+  std::printf("%-28s | %-30s | %-30s\n", "attribute", "original TB",
+              "adapted TB");
+  std::printf("%s\n", std::string(95, '-').c_str());
+  std::printf("%-28s | tau = d+2pe-tmin = %7.3f ms | tau(0) = %7.3f ms\n",
+              "blocking period (clean)",
+              orig.tau_clean.to_seconds() * 1e3,
+              adap.tau_clean.to_seconds() * 1e3);
+  std::printf("%-28s | tau = d+2pe-tmin = %7.3f ms | tau(1) = d+2pe+tmax = "
+              "%.3f ms\n",
+              "blocking period (dirty)",
+              orig.tau_dirty.to_seconds() * 1e3,
+              adap.tau_dirty.to_seconds() * 1e3);
+  std::printf("%-28s | current state (%4llu/%llu)     | current or volatile "
+              "copy (%llu/%llu)\n",
+              "checkpoint contents",
+              static_cast<unsigned long long>(orig.currents),
+              static_cast<unsigned long long>(orig.currents + orig.copies),
+              static_cast<unsigned long long>(adap.currents),
+              static_cast<unsigned long long>(adap.currents + adap.copies));
+  std::printf("%-28s | %-30s | %-30s\n", "in-progress replacement", "never",
+              (std::to_string(adap.replacements) + " abort-and-replace")
+                  .c_str());
+  std::printf("%-28s | all (%zu passed-AT held)      | all but passed-AT "
+              "(%zu processed)\n",
+              "messages blocked",
+              orig.passed_at_during_blocking_held,
+              adap.passed_at_during_blocking_processed);
+  std::printf("%-28s | %-30s | %-30s\n", "purpose of blocking",
+              "consistency", "consistency and recoverability");
+
+  const bool ok =
+      orig.copies == 0 &&
+      adap.tau_dirty - adap.tau_clean ==
+          Duration::millis(11) /* tmax + tmin with defaults */ &&
+      orig.tau_clean == orig.tau_dirty && adap.copies > 0;
+  std::printf("\nshape check (original: one formula, current contents; "
+              "adapted: confidence-adaptive): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Hardware-fault recovery, scheme by scheme.
+//
+// Runs the same mission (same seed, same workload, same fault time) under
+// the write-through baseline and the coordinated scheme, and shows what
+// each rolls back to when a node is struck — the single-run version of the
+// paper's Figure 7 comparison.
+//
+//   $ ./hardware_recovery
+#include <cstdio>
+
+#include "core/system.hpp"
+
+using namespace synergy;
+
+namespace {
+
+void run_scheme(Scheme scheme) {
+  SystemConfig config;
+  config.scheme = scheme;
+  config.seed = 99;
+  // Contamination episodes are rare and short; validated external output
+  // flows from the high-confidence component (see the Figure 7 bench for
+  // the regime discussion).
+  config.workload.p1_internal_rate = 0.002;
+  config.workload.p2_internal_rate = 0.002;
+  config.workload.p1_external_rate = 0.0;
+  config.workload.p2_external_rate = 0.05;
+  config.tb.interval = Duration::seconds(60);
+  config.repair_latency = Duration::seconds(10);
+  config.record_history = false;
+
+  System system(config);
+  system.start(TimePoint::origin() + Duration::seconds(20'000));
+  system.schedule_hw_fault(TimePoint::origin() + Duration::seconds(15'000),
+                           NodeId{2});
+  system.run();
+
+  std::printf("--- %s ---\n", to_string(scheme));
+  for (const auto& rec : system.hw_recoveries()) {
+    std::printf("fault on node %u at t=%.0f s\n", rec.faulty_node.value(),
+                rec.fault_time.to_seconds());
+    const char* names[] = {"P1act", "P1sdw", "P2"};
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::printf("  %-6s restored a state from %.1f s before the fault%s\n",
+                  names[i], rec.rollback_distance[i].to_seconds(),
+                  rec.restored_dirty[i]
+                      ? "  [POTENTIALLY CONTAMINATED - sw recovery lost]"
+                      : "");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Same mission, same fault; what does each scheme roll back to?\n\n");
+  run_scheme(Scheme::kWriteThrough);
+  run_scheme(Scheme::kCoordinated);
+  std::printf(
+      "The write-through baseline falls back to the last validation event\n"
+      "(arbitrarily old when contamination is rare); the coordinated scheme\n"
+      "loses at most a checkpoint interval plus the current contamination\n"
+      "episode. See bench_fig7_rollback_distance for the full sweep.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the coordinated MDCD+TB system in a dozen lines.
+//
+// Builds the paper's three-node guarded configuration (P1act low-confidence
+// active, P1sdw high-confidence shadow, P2), runs a one-hour mission with a
+// Poisson workload, injects one hardware fault mid-mission, and prints what
+// the protocols did.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/system.hpp"
+
+using namespace synergy;
+
+int main() {
+  SystemConfig config;
+  config.scheme = Scheme::kCoordinated;  // modified MDCD + adapted TB
+  config.seed = 2026;
+  config.workload.p1_internal_rate = 2.0;   // msgs/s, component 1 -> P2
+  config.workload.p2_internal_rate = 2.0;   // msgs/s, P2 -> component 1
+  config.workload.p1_external_rate = 0.1;   // AT-validated outputs
+  config.workload.p2_external_rate = 0.1;
+  config.tb.interval = Duration::seconds(60);  // stable checkpoint period
+
+  System system(config);
+  system.start(TimePoint::origin() + Duration::seconds(3600));
+
+  // A cosmic ray takes out P2's node 30 minutes in.
+  system.schedule_hw_fault(TimePoint::origin() + Duration::seconds(1800),
+                           NodeId{2});
+  system.run();
+
+  std::printf("mission complete at t = %.0f s\n",
+              system.sim().now().to_seconds());
+  std::printf("external outputs delivered to the device: %zu (tainted: 0 "
+              "guaranteed by ATs)\n",
+              system.device().entries.size());
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ProcessNode& node = system.node(ProcessId{i});
+    std::printf(
+        "%-6s stable ckpts=%-3llu volatile ckpts=%-4llu blocking total=%.1f "
+        "ms\n",
+        to_string(node.id()).c_str(),
+        static_cast<unsigned long long>(node.tb()->checkpoints_taken()),
+        static_cast<unsigned long long>(node.engine().volatile_checkpoints()),
+        node.tb()->total_blocking().to_seconds() * 1e3);
+  }
+
+  for (const auto& rec : system.hw_recoveries()) {
+    std::printf(
+        "hardware fault on node %u at t=%.0f s: all processes restored, "
+        "rollback distances P1act=%.1f s P1sdw=%.1f s P2=%.1f s, %zu "
+        "unacked messages re-sent\n",
+        rec.faulty_node.value(), rec.fault_time.to_seconds(),
+        rec.rollback_distance[0].to_seconds(),
+        rec.rollback_distance[1].to_seconds(),
+        rec.rollback_distance[2].to_seconds(), rec.resent_messages);
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "analysis/checkers.hpp"
+
+#include <sstream>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+namespace {
+
+// Composite (peer, transport_seq) key. Transport sequences stay far below
+// 2^48 in any realistic run; assert rather than silently collide.
+std::uint64_t view_key(ProcessId peer, std::uint64_t transport_seq) {
+  SYNERGY_ASSERT(transport_seq < (1ULL << 48));
+  return (static_cast<std::uint64_t>(peer.value()) << 48) | transport_seq;
+}
+
+using ViewIndex = std::unordered_map<std::uint64_t, const MsgView*>;
+
+ViewIndex index_views(const ViewLog& log) {
+  ViewIndex index;
+  index.reserve(log.size());
+  for (const auto& v : log.entries()) {
+    index.emplace(view_key(v.peer, v.transport_seq), &v);
+  }
+  return index;
+}
+
+const MsgView* find_view(const ViewIndex& index, std::uint64_t transport_seq,
+                         ProcessId peer) {
+  auto it = index.find(view_key(peer, transport_seq));
+  return it == index.end() ? nullptr : it->second;
+}
+
+std::unordered_set<std::uint64_t> unacked_seqs(const ProcessFacts& sender) {
+  std::unordered_set<std::uint64_t> seqs;
+  seqs.reserve(sender.unacked.size());
+  for (const auto& m : sender.unacked) seqs.insert(m.transport_seq);
+  return seqs;
+}
+
+}  // namespace
+
+std::string Violation::describe() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kReceivedNotSent:
+      out << to_string(a) << " reflects receipt of seq " << transport_seq
+          << " from " << to_string(b) << ", which does not reflect sending it";
+      break;
+    case Kind::kValidityMismatch:
+      out << to_string(a) << " and " << to_string(b)
+          << " disagree on the validity of seq " << transport_seq;
+      break;
+    case Kind::kLostMessage:
+      out << to_string(a) << " reflects sending seq " << transport_seq
+          << " to " << to_string(b)
+          << ", which neither reflects it nor can it be re-sent";
+      break;
+    case Kind::kDirtyRestoredState:
+      out << to_string(a)
+          << " restored a potentially contaminated state: software error "
+             "recovery is no longer possible";
+      break;
+  }
+  return out.str();
+}
+
+std::vector<Violation> check_consistency(const GlobalState& state) {
+  std::vector<Violation> violations;
+  std::unordered_map<std::uint32_t, ViewIndex> sent_index;
+  for (const auto& p : state.processes) {
+    sent_index.emplace(p.id.value(), index_views(p.sent));
+  }
+  for (const auto& receiver : state.processes) {
+    for (const auto& e : receiver.recv.entries()) {
+      if (e.kind != MsgKind::kInternal) continue;
+      const ProcessFacts* sender = state.find(e.peer);
+      if (sender == nullptr) continue;  // peer outside the examined state
+      const MsgView* sent = find_view(sent_index.at(sender->id.value()),
+                                      e.transport_seq, receiver.id);
+      if (sent == nullptr) {
+        violations.push_back(Violation{Violation::Kind::kReceivedNotSent,
+                                       receiver.id, sender->id,
+                                       e.transport_seq});
+      } else if (sent->suspect != e.suspect) {
+        violations.push_back(Violation{Violation::Kind::kValidityMismatch,
+                                       receiver.id, sender->id,
+                                       e.transport_seq});
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> check_recoverability(const GlobalState& state) {
+  std::vector<Violation> violations;
+  std::unordered_map<std::uint32_t, ViewIndex> recv_index;
+  for (const auto& p : state.processes) {
+    recv_index.emplace(p.id.value(), index_views(p.recv));
+  }
+  for (const auto& sender : state.processes) {
+    const auto unacked = unacked_seqs(sender);
+    for (const auto& e : sender.sent.entries()) {
+      if (e.kind != MsgKind::kInternal) continue;
+      const ProcessFacts* receiver = state.find(e.peer);
+      if (receiver == nullptr) continue;
+      const MsgView* recv = find_view(recv_index.at(receiver->id.value()),
+                                      e.transport_seq, sender.id);
+      if (recv != nullptr) {
+        if (recv->suspect != e.suspect) {
+          violations.push_back(Violation{Violation::Kind::kValidityMismatch,
+                                         sender.id, receiver->id,
+                                         e.transport_seq});
+        }
+        continue;
+      }
+      if (!unacked.contains(e.transport_seq)) {
+        violations.push_back(Violation{Violation::Kind::kLostMessage,
+                                       sender.id, receiver->id,
+                                       e.transport_seq});
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> check_software_recoverability(const GlobalState& state) {
+  std::vector<Violation> violations;
+  for (const auto& p : state.processes) {
+    // P1act is invariably regarded as potentially contaminated while
+    // guarded; software recovery replaces it wholesale, so a "dirty"
+    // restored P1act is not a hazard. Under the modified protocol its
+    // contamination flag is the pseudo dirty bit and participates fully.
+    if (p.id == kP1Act) continue;
+    if (p.dirty) {
+      violations.push_back(
+          Violation{Violation::Kind::kDirtyRestoredState, p.id, p.id, 0});
+    }
+  }
+  return violations;
+}
+
+std::vector<Violation> check_all(const GlobalState& state) {
+  std::vector<Violation> all = check_consistency(state);
+  auto rec = check_recoverability(state);
+  all.insert(all.end(), rec.begin(), rec.end());
+  auto sw = check_software_recoverability(state);
+  all.insert(all.end(), sw.begin(), sw.end());
+  return all;
+}
+
+}  // namespace synergy

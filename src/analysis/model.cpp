@@ -1,0 +1,33 @@
+#include "analysis/model.hpp"
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+double dirty_fraction(const RollbackModelParams& p) {
+  SYNERGY_EXPECTS(p.lambda_dirty > 0.0 && p.lambda_valid > 0.0);
+  // Alternating renewal: clean ~ Exp(ld), dirty ~ Exp(lv).
+  const double mean_clean = 1.0 / p.lambda_dirty;
+  const double mean_dirty = 1.0 / p.lambda_valid;
+  return mean_dirty / (mean_clean + mean_dirty);
+}
+
+double expected_rollback_coordinated(const RollbackModelParams& p) {
+  SYNERGY_EXPECTS(p.lambda_dirty > 0.0 && p.lambda_valid > 0.0);
+  const double q = p.lambda_dirty / (p.lambda_dirty + p.lambda_valid);
+  return p.interval.to_seconds() / 2.0 + q / p.lambda_valid;
+}
+
+double expected_rollback_write_through(const RollbackModelParams& p) {
+  SYNERGY_EXPECTS(p.lambda_dirty > 0.0 && p.lambda_valid > 0.0);
+  const double ld = p.lambda_dirty;
+  const double lv = p.lambda_valid;
+  // Mean age of the renewal cycle (time since the last validation event)
+  // at a uniformly random fault instant: E[X^2] / (2 E[X]) for
+  // X = Exp(ld) + Exp(lv).
+  const double ex = 1.0 / ld + 1.0 / lv;
+  const double ex2 = 2.0 / (ld * ld) + 2.0 / (ld * lv) + 2.0 / (lv * lv);
+  return ex2 / (2.0 * ex);
+}
+
+}  // namespace synergy

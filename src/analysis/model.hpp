@@ -1,0 +1,53 @@
+// Closed-form rollback-distance model (Figure 7 cross-validation).
+//
+// Contamination of a high-confidence process alternates between clean
+// intervals (ended by the arrival of a suspect message; rate lambda_d) and
+// potentially-contaminated intervals (ended by a validation event — an AT
+// pass somewhere in the system; rate lambda_v), both approximated as
+// exponential. A hardware fault strikes at a random instant.
+//
+// Write-through: the last stable checkpoint is the last *validation*
+// event. Validation events only happen at the tail of dirty episodes, so a
+// mostly-clean process keeps no recent recovery point and the expected
+// rollback distance is the mean age of the alternating-renewal cycle:
+//
+//   E[Dwt] = (1/ld^2 + 1/(ld*lv) + 1/lv^2) / (1/ld + 1/lv)
+//
+// Coordinated: a stable checkpoint is established every Delta regardless.
+// If the process is clean at its timer expiry the checkpoint carries the
+// current state (loss ~ U(0,Delta)); if dirty (probability q =
+// ld/(ld+lv)) it carries the pre-contamination volatile checkpoint, adding
+// the mean dirty age 1/lv:
+//
+//   E[Dco] = Delta/2 + q/lv
+//
+// The same mechanism the paper describes: coordination "maximizes the
+// likelihood that a process will roll back to its most recent
+// non-contaminated state".
+#pragma once
+
+#include "common/time.hpp"
+
+namespace synergy {
+
+struct RollbackModelParams {
+  /// Rate at which a clean process becomes potentially contaminated
+  /// (suspect-message arrival rate), per second.
+  double lambda_dirty = 1e-3;
+  /// Rate of validation events (AT passes reaching the process), per
+  /// second.
+  double lambda_valid = 1e-2;
+  /// TB checkpoint interval Delta.
+  Duration interval = Duration::seconds(60);
+};
+
+/// Expected rollback distance (seconds) under the coordinated scheme.
+double expected_rollback_coordinated(const RollbackModelParams& p);
+
+/// Expected rollback distance (seconds) under the write-through baseline.
+double expected_rollback_write_through(const RollbackModelParams& p);
+
+/// Long-run fraction of time a process is potentially contaminated.
+double dirty_fraction(const RollbackModelParams& p);
+
+}  // namespace synergy

@@ -1,0 +1,30 @@
+#include "app/acceptance_test.hpp"
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+AcceptanceTest::AcceptanceTest(const AtParams& params, Rng rng)
+    : params_(params), rng_(rng) {
+  SYNERGY_EXPECTS(params.coverage >= 0.0 && params.coverage <= 1.0);
+  SYNERGY_EXPECTS(params.false_alarm >= 0.0 && params.false_alarm <= 1.0);
+}
+
+bool AcceptanceTest::run(bool message_tainted) {
+  bool pass;
+  if (message_tainted) {
+    pass = !rng_.bernoulli(params_.coverage);
+    if (pass) ++missed_;
+  } else {
+    pass = !rng_.bernoulli(params_.false_alarm);
+    if (!pass) ++false_alarms_;
+  }
+  if (pass) {
+    ++passes_;
+  } else {
+    ++failures_;
+  }
+  return pass;
+}
+
+}  // namespace synergy

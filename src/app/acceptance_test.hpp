@@ -1,0 +1,46 @@
+// Acceptance-test (AT) model.
+//
+// The MDCD protocol validates only *external* messages by AT: external
+// messages are control commands/data checkable by simple reasonableness
+// tests (paper §2.1). We model an AT by its detection coverage (probability
+// a tainted message fails the test) and false-alarm rate (probability a
+// clean message is wrongly rejected). The protocols consume only the
+// boolean outcome.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace synergy {
+
+struct AtParams {
+  /// P(test fails | message erroneous). 1.0 = perfect detection.
+  double coverage = 1.0;
+  /// P(test fails | message correct).
+  double false_alarm = 0.0;
+};
+
+class AcceptanceTest {
+ public:
+  AcceptanceTest(const AtParams& params, Rng rng);
+
+  /// Runs the test against a message whose ground-truth taint is
+  /// `message_tainted`. Returns true iff the test passes.
+  bool run(bool message_tainted);
+
+  std::uint64_t passes() const { return passes_; }
+  std::uint64_t failures() const { return failures_; }
+  std::uint64_t missed_detections() const { return missed_; }
+  std::uint64_t false_alarms() const { return false_alarms_; }
+
+ private:
+  AtParams params_;
+  Rng rng_;
+  std::uint64_t passes_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t missed_ = 0;
+  std::uint64_t false_alarms_ = 0;
+};
+
+}  // namespace synergy

@@ -1,0 +1,67 @@
+#include "app/state.hpp"
+
+namespace synergy {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ApplicationState::ApplicationState(std::uint64_t seed) {
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    regs_[i] = mix(seed + i + 1);
+  }
+}
+
+void ApplicationState::apply_message(std::uint64_t payload,
+                                     bool payload_tainted) {
+  regs_[payload % regs_.size()] ^= mix(payload);
+  regs_[0] += payload;
+  ++steps_;
+  if (payload_tainted) tainted_ = true;
+}
+
+void ApplicationState::local_step(std::uint64_t input) {
+  const std::uint64_t m = mix(input ^ regs_[steps_ % regs_.size()]);
+  regs_[(steps_ + 1) % regs_.size()] += m;
+  ++steps_;
+}
+
+std::uint64_t ApplicationState::output() const {
+  std::uint64_t acc = steps_;
+  for (const auto r : regs_) acc = mix(acc ^ r);
+  return acc;
+}
+
+void ApplicationState::corrupt(std::uint64_t noise) {
+  regs_[noise % regs_.size()] ^= (noise | 1);
+  tainted_ = true;
+}
+
+Bytes ApplicationState::snapshot() const {
+  ByteWriter w;
+  for (const auto r : regs_) w.u64(r);
+  w.u64(steps_);
+  w.u8(tainted_ ? 1 : 0);
+  return w.take();
+}
+
+void ApplicationState::restore(const Bytes& snapshot) {
+  ByteReader r(snapshot);
+  for (auto& reg : regs_) reg = r.u64();
+  steps_ = r.u64();
+  tainted_ = r.u8() != 0;
+}
+
+std::uint64_t ApplicationState::fingerprint() const {
+  return ::synergy::fingerprint(snapshot());
+}
+
+}  // namespace synergy

@@ -1,0 +1,59 @@
+// Synthetic application state machine.
+//
+// Substitution note (DESIGN.md §3): the paper's application is onboard
+// spacecraft software; MDCD is agnostic to application semantics — only
+// message events, rates, and AT outcomes matter. This state machine gives
+// the protocols something real to checkpoint and roll back: a deterministic
+// register file evolved by inputs, with ground-truth *taint* tracking so
+// test oracles can tell whether an erroneous value actually propagated.
+//
+// Taint is the fault-injection ground truth (did a software error touch
+// this state), distinct from the protocols' *potential contamination*
+// (dirty bits), which is a conservative overapproximation the protocols
+// maintain without ever reading taint.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/serialize.hpp"
+
+namespace synergy {
+
+class ApplicationState {
+ public:
+  ApplicationState() = default;
+  explicit ApplicationState(std::uint64_t seed);
+
+  /// Consume a message payload. If the payload is tainted, the state
+  /// becomes tainted (erroneous input contaminates state; paper §2.1's key
+  /// assumption).
+  void apply_message(std::uint64_t payload, bool payload_tainted);
+
+  /// One unit of local computation driven by an input word.
+  void local_step(std::uint64_t input);
+
+  /// Deterministic output derived from the current state: the payload of
+  /// the next outgoing message. An erroneous state yields tainted outputs
+  /// (the other half of the paper's key assumption).
+  std::uint64_t output() const;
+
+  /// Inject a design-fault manifestation: corrupts a register and taints.
+  void corrupt(std::uint64_t noise);
+
+  bool tainted() const { return tainted_; }
+  std::uint64_t steps() const { return steps_; }
+
+  Bytes snapshot() const;
+  void restore(const Bytes& snapshot);
+
+  /// Order-insensitive equality check helper for tests.
+  std::uint64_t fingerprint() const;
+
+ private:
+  std::array<std::uint64_t, 8> regs_{};
+  std::uint64_t steps_ = 0;
+  bool tainted_ = false;
+};
+
+}  // namespace synergy

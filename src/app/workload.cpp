@@ -1,0 +1,53 @@
+#include "app/workload.hpp"
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+WorkloadDriver::WorkloadDriver(Simulator& sim, const WorkloadParams& params,
+                               Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {}
+
+void WorkloadDriver::arm(double rate, std::function<void(std::uint64_t)> fire) {
+  if (rate <= 0.0) return;
+  const Duration gap = rng_.exponential(Duration::from_seconds(1.0 / rate));
+  const TimePoint at = sim_.now() + gap;
+  if (at >= until_) return;
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_at(at, [this, rate, fire = std::move(fire), epoch]() mutable {
+    if (!running_ || epoch != epoch_) return;
+    fire(rng_.next());
+    arm(rate, std::move(fire));
+  });
+}
+
+void WorkloadDriver::start(TimePoint until) {
+  SYNERGY_EXPECTS(!running_);
+  running_ = true;
+  until_ = until;
+  arm(params_.p1_internal_rate, [this](std::uint64_t input) {
+    if (c1_send_) c1_send_(false, input);
+  });
+  arm(params_.p1_external_rate, [this](std::uint64_t input) {
+    if (c1_send_) c1_send_(true, input);
+  });
+  arm(params_.p2_internal_rate, [this](std::uint64_t input) {
+    if (p2_send_) p2_send_(false, input);
+  });
+  arm(params_.p2_external_rate, [this](std::uint64_t input) {
+    if (p2_send_) p2_send_(true, input);
+  });
+  arm(params_.step_rate, [this](std::uint64_t input) {
+    if (c1_step_) c1_step_(input);
+  });
+  arm(params_.step_rate, [this](std::uint64_t input) {
+    if (p2_step_) p2_step_(input);
+  });
+}
+
+void WorkloadDriver::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+}  // namespace synergy

@@ -1,0 +1,74 @@
+// Workload driver: Poisson message-generation schedules.
+//
+// The paper's evaluation sweeps the *internal message rate* (Figure 7);
+// external messages are the (much rarer) AT-validated outputs. The driver
+// schedules "the application wants to send now" events on the simulator
+// and invokes per-component sinks; the protocol engines decide what a send
+// means (send / suppress / checkpoint first / run AT).
+//
+// Component 1's schedule drives P1act and P1sdw identically — the shadow
+// performs the same computation on the same inputs (paper §2.1), so one
+// arrival fans out to both engines, keeping their msg_SN streams aligned.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace synergy {
+
+struct WorkloadParams {
+  /// Component 1 (P1act/P1sdw) internal messages per second.
+  double p1_internal_rate = 2.0;
+  /// Component 1 external (AT-validated) messages per second.
+  double p1_external_rate = 0.05;
+  /// P2 internal messages per second (multicast to P1act and P1sdw).
+  double p2_internal_rate = 2.0;
+  /// P2 external messages per second.
+  double p2_external_rate = 0.05;
+  /// Local computation steps per second, per process.
+  double step_rate = 10.0;
+};
+
+class WorkloadDriver {
+ public:
+  /// `external` tells the sink which kind of send the application wants;
+  /// `input` is a deterministic pseudo-random word (sensor input).
+  using SendSink = std::function<void(bool external, std::uint64_t input)>;
+  using StepSink = std::function<void(std::uint64_t input)>;
+
+  WorkloadDriver(Simulator& sim, const WorkloadParams& params, Rng rng);
+
+  void set_component1_send(SendSink sink) { c1_send_ = std::move(sink); }
+  void set_p2_send(SendSink sink) { p2_send_ = std::move(sink); }
+  void set_component1_step(StepSink sink) { c1_step_ = std::move(sink); }
+  void set_p2_step(StepSink sink) { p2_step_ = std::move(sink); }
+
+  /// Begin generating events until `until` (true time).
+  void start(TimePoint until);
+
+  /// Stop generating further events (already-scheduled ones are dropped).
+  void stop();
+
+  bool running() const { return running_; }
+
+ private:
+  void arm(double rate, std::function<void(std::uint64_t)> fire);
+
+  Simulator& sim_;
+  WorkloadParams params_;
+  Rng rng_;
+  TimePoint until_;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;  // invalidates scheduled events after stop()
+  SendSink c1_send_;
+  SendSink p2_send_;
+  StepSink c1_step_;
+  StepSink p2_step_;
+};
+
+}  // namespace synergy

@@ -1,0 +1,39 @@
+#include "clock/drift_clock.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+DriftClock::DriftClock(TimePoint t0, Duration offset, double drift)
+    : anchor_true_(t0), anchor_local_(t0 + offset), drift_(drift) {
+  SYNERGY_EXPECTS(drift > -1.0);  // clock must move forward
+}
+
+TimePoint DriftClock::local_time(TimePoint true_time) const {
+  const double elapsed = static_cast<double>((true_time - anchor_true_).count());
+  const auto local_elapsed =
+      static_cast<std::int64_t>(std::llround(elapsed * (1.0 + drift_)));
+  return anchor_local_ + Duration::micros(local_elapsed);
+}
+
+TimePoint DriftClock::true_time_of(TimePoint local) const {
+  const double local_elapsed =
+      static_cast<double>((local - anchor_local_).count());
+  const auto elapsed =
+      static_cast<std::int64_t>(std::llround(local_elapsed / (1.0 + drift_)));
+  return anchor_true_ + Duration::micros(elapsed);
+}
+
+Duration DriftClock::offset_at(TimePoint true_time) const {
+  return local_time(true_time) - true_time;
+}
+
+void DriftClock::resync(TimePoint true_now, Duration new_offset) {
+  SYNERGY_EXPECTS(true_now >= anchor_true_);
+  anchor_true_ = true_now;
+  anchor_local_ = true_now + new_offset;
+}
+
+}  // namespace synergy

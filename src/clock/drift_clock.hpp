@@ -1,0 +1,45 @@
+// A local hardware clock with bounded offset and bounded drift.
+//
+// The TB checkpointing protocol (Neves & Fuchs) assumes timers that are
+// approximately synchronized: right after a resynchronization, any two
+// clocks differ by at most delta, and between resynchronizations each clock
+// drifts at a rate bounded by rho. The pairwise deviation bound at elapsed
+// time eps since the last resync is therefore delta + 2*rho*eps — the
+// quantity the protocol's blocking periods are built from.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace synergy {
+
+class DriftClock {
+ public:
+  /// Creates a clock anchored at true time `t0` reading `t0 + offset`,
+  /// advancing at rate (1 + drift) relative to true time.
+  DriftClock(TimePoint t0, Duration offset, double drift);
+
+  /// The clock's reading at the given true time.
+  TimePoint local_time(TimePoint true_time) const;
+
+  /// The true time at which this clock will read `local`. Inverse of
+  /// local_time(); used to schedule local-deadline timers on the simulator.
+  TimePoint true_time_of(TimePoint local) const;
+
+  /// Instantaneous offset (local - true) at the given true time.
+  Duration offset_at(TimePoint true_time) const;
+
+  /// Re-anchor the clock: at true time `true_now` it now reads
+  /// `true_now + new_offset`. Drift rate is unchanged (it is a hardware
+  /// property). Models one round of external clock synchronization.
+  void resync(TimePoint true_now, Duration new_offset);
+
+  double drift_rate() const { return drift_; }
+  TimePoint last_resync_true_time() const { return anchor_true_; }
+
+ private:
+  TimePoint anchor_true_;
+  TimePoint anchor_local_;
+  double drift_;
+};
+
+}  // namespace synergy

@@ -1,0 +1,67 @@
+#include "clock/ensemble.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+ClockEnsemble::ClockEnsemble(Simulator& sim, const ClockParams& params,
+                             std::size_t n, Rng rng)
+    : sim_(sim), params_(params), rng_(rng), last_resync_(sim.now()) {
+  SYNERGY_EXPECTS(n > 0);
+  SYNERGY_EXPECTS(params.rho >= 0.0 && params.rho < 1.0);
+  SYNERGY_EXPECTS(params.delta >= Duration::zero());
+  clocks_.reserve(n);
+  timers_.reserve(n);
+  const Duration half = params_.delta / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Duration offset = rng_.uniform(-half, half);
+    const double drift = rng_.uniform(-params_.rho, params_.rho);
+    clocks_.emplace_back(sim_.now(), offset, drift);
+  }
+  // Timer services are created after all clocks exist: clocks_ never
+  // reallocates afterwards, so the references stay valid.
+  for (std::size_t i = 0; i < n; ++i) {
+    timers_.push_back(std::make_unique<LocalTimerService>(sim_, clocks_[i]));
+  }
+}
+
+DriftClock& ClockEnsemble::clock(ProcessId p) {
+  SYNERGY_EXPECTS(p.value() < clocks_.size());
+  return clocks_[p.value()];
+}
+
+const DriftClock& ClockEnsemble::clock(ProcessId p) const {
+  SYNERGY_EXPECTS(p.value() < clocks_.size());
+  return clocks_[p.value()];
+}
+
+LocalTimerService& ClockEnsemble::timers(ProcessId p) {
+  SYNERGY_EXPECTS(p.value() < timers_.size());
+  return *timers_[p.value()];
+}
+
+Duration ClockEnsemble::deviation_bound(Duration eps) const {
+  const double extra = 2.0 * params_.rho * static_cast<double>(eps.count());
+  return params_.delta +
+         Duration::micros(static_cast<std::int64_t>(std::ceil(extra)));
+}
+
+Duration ClockEnsemble::elapsed_since_resync() const {
+  return sim_.now() - last_resync_;
+}
+
+void ClockEnsemble::resync_all() {
+  const Duration half = params_.delta / 2;
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    clocks_[i].resync(sim_.now(), rng_.uniform(-half, half));
+    timers_[i]->on_clock_adjusted();
+  }
+  last_resync_ = sim_.now();
+  ++resyncs_;
+  for (const auto& fn : observers_) fn();
+}
+
+}  // namespace synergy

@@ -1,0 +1,77 @@
+// Clock ensemble: the set of per-process clocks plus the resynchronization
+// service that keeps their pairwise deviation bounded.
+//
+// Substitution note (see DESIGN.md §3): the paper assumes an external clock
+// synchronization service with maximum initial deviation delta and drift
+// rate rho. We model a resync round as an instantaneous redraw of every
+// clock's offset within [-delta/2, +delta/2] (so any pair deviates by at
+// most delta), which is exactly the abstraction both TB variants reason
+// about; the synchronization algorithm itself is out of scope for the
+// protocols.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "clock/drift_clock.hpp"
+#include "clock/timer_service.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace synergy {
+
+struct ClockParams {
+  /// Maximum pairwise deviation right after a resync (paper's delta).
+  Duration delta = Duration::millis(2);
+  /// Maximum absolute drift rate (paper's rho), e.g. 1e-5 = 10 us/s.
+  double rho = 1e-5;
+};
+
+class ClockEnsemble {
+ public:
+  /// Creates `n` clocks with offsets drawn in [-delta/2, +delta/2] and
+  /// drifts drawn in [-rho, +rho].
+  ClockEnsemble(Simulator& sim, const ClockParams& params, std::size_t n,
+                Rng rng);
+
+  DriftClock& clock(ProcessId p);
+  const DriftClock& clock(ProcessId p) const;
+  LocalTimerService& timers(ProcessId p);
+  std::size_t size() const { return clocks_.size(); }
+  const ClockParams& params() const { return params_; }
+
+  /// Worst-case pairwise deviation bound at elapsed local time `eps` since
+  /// the last resync: delta + 2 * rho * eps (paper §4.2).
+  Duration deviation_bound(Duration eps) const;
+
+  /// Elapsed true time since the last ensemble resync.
+  Duration elapsed_since_resync() const;
+
+  /// Performs one resynchronization round now: redraws all offsets within
+  /// the delta bound, re-maps all pending local timers, and notifies
+  /// observers (the adapted TB protocol resets its eps bookkeeping here).
+  void resync_all();
+
+  /// Register a callback invoked after every resync round.
+  void on_resync(std::function<void()> fn) {
+    observers_.push_back(std::move(fn));
+  }
+
+  /// Number of resync rounds performed (diagnostics).
+  std::uint64_t resync_count() const { return resyncs_; }
+
+ private:
+  Simulator& sim_;
+  ClockParams params_;
+  Rng rng_;
+  std::vector<DriftClock> clocks_;
+  std::vector<std::unique_ptr<LocalTimerService>> timers_;
+  std::vector<std::function<void()>> observers_;
+  TimePoint last_resync_;
+  std::uint64_t resyncs_ = 0;
+};
+
+}  // namespace synergy

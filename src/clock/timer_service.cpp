@@ -1,0 +1,64 @@
+#include "clock/timer_service.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+LocalTimerService::~LocalTimerService() {
+  for (auto& [id, p] : pending_) sim_.cancel(p.handle);
+}
+
+EventHandle LocalTimerService::arm(TimerId id, const Pending& p) {
+  TimePoint fire_at = clock_.true_time_of(p.local_deadline);
+  if (fire_at < sim_.now()) fire_at = sim_.now();  // past deadline: fire now
+  return sim_.schedule_at(fire_at, [this, id] {
+    auto it = pending_.find(id);
+    SYNERGY_ASSERT(it != pending_.end());
+    Callback fn = std::move(it->second.fn);
+    pending_.erase(it);
+    fn();
+  });
+}
+
+LocalTimerService::TimerId LocalTimerService::schedule_at_local(
+    TimePoint local_deadline, Callback fn) {
+  SYNERGY_EXPECTS(fn != nullptr);
+  const TimerId id = next_id_++;
+  auto [it, inserted] =
+      pending_.emplace(id, Pending{local_deadline, std::move(fn), {}});
+  SYNERGY_ASSERT(inserted);
+  it->second.handle = arm(id, it->second);
+  return id;
+}
+
+LocalTimerService::TimerId LocalTimerService::schedule_after_local(
+    Duration d, Callback fn) {
+  SYNERGY_EXPECTS(d >= Duration::zero());
+  return schedule_at_local(local_now() + d, std::move(fn));
+}
+
+bool LocalTimerService::cancel(TimerId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  sim_.cancel(it->second.handle);
+  pending_.erase(it);
+  return true;
+}
+
+void LocalTimerService::on_clock_adjusted() {
+  // Ids are snapshotted first: arm() inserts new simulator events and we
+  // must not iterate pending_ while rewriting handles.
+  std::vector<TimerId> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) ids.push_back(id);
+  for (TimerId id : ids) {
+    auto& p = pending_.at(id);
+    sim_.cancel(p.handle);
+    p.handle = arm(id, p);
+  }
+}
+
+}  // namespace synergy

@@ -1,0 +1,65 @@
+// Per-process timer service: schedules callbacks at *local clock* deadlines.
+//
+// A TB-protocol process arms its next checkpoint timer at a local-clock
+// instant (k * Delta on its own clock). The service maps that local
+// deadline to true simulator time through the process's DriftClock, and
+// re-maps every pending deadline whenever the clock is resynchronized — a
+// resync changes when a local deadline occurs in true time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "clock/drift_clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace synergy {
+
+class LocalTimerService {
+ public:
+  using Callback = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  LocalTimerService(Simulator& sim, DriftClock& clock)
+      : sim_(sim), clock_(clock) {}
+  ~LocalTimerService();
+
+  LocalTimerService(const LocalTimerService&) = delete;
+  LocalTimerService& operator=(const LocalTimerService&) = delete;
+
+  /// Current reading of the local clock.
+  TimePoint local_now() const { return clock_.local_time(sim_.now()); }
+
+  /// Fire `fn` when the local clock reads `local_deadline`. Deadlines in
+  /// the local past fire immediately (at the next simulator step).
+  TimerId schedule_at_local(TimePoint local_deadline, Callback fn);
+
+  /// Fire `fn` after `d` elapses on the local clock.
+  TimerId schedule_after_local(Duration d, Callback fn);
+
+  /// Cancel a pending timer; returns false if it already fired.
+  bool cancel(TimerId id);
+
+  /// Must be called after the underlying clock is resynchronized: re-maps
+  /// all pending local deadlines to their new true times.
+  void on_clock_adjusted();
+
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    TimePoint local_deadline;
+    Callback fn;
+    EventHandle handle;
+  };
+
+  EventHandle arm(TimerId id, const Pending& p);
+
+  Simulator& sim_;
+  DriftClock& clock_;
+  TimerId next_id_ = 1;
+  std::unordered_map<TimerId, Pending> pending_;
+};
+
+}  // namespace synergy

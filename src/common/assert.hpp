@@ -1,0 +1,38 @@
+// Lightweight contract-checking macros (Core Guidelines I.6/I.8 style).
+//
+// These are always on, including release builds: the protocols in this
+// library encode distributed-systems invariants whose silent violation
+// would invalidate every experiment downstream, so we prefer a loud abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace synergy::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "synergy: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace synergy::detail
+
+#define SYNERGY_EXPECTS(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::synergy::detail::contract_failure("precondition", #cond,    \
+                                                __FILE__, __LINE__))
+
+#define SYNERGY_ENSURES(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::synergy::detail::contract_failure("postcondition", #cond,   \
+                                                __FILE__, __LINE__))
+
+#define SYNERGY_ASSERT(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::synergy::detail::contract_failure("invariant", #cond,       \
+                                                __FILE__, __LINE__))
+
+#define SYNERGY_UNREACHABLE(msg)                                          \
+  ::synergy::detail::contract_failure("unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace synergy {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty -> stderr
+
+void default_sink(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s\n", to_string(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, std::string_view msg) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, msg);
+  } else {
+    default_sink(level, msg);
+  }
+}
+
+}  // namespace synergy

@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// Protocol engines never log directly (they are pure state machines); hosts
+// and experiment harnesses use this for diagnostics. Output goes to a
+// swappable sink so tests can capture it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace synergy {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logging configuration. Not thread-safe to reconfigure while
+/// logging concurrently; configure once at startup.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Replace the sink (default writes to stderr). Pass nullptr to restore.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view msg);
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace synergy
+
+#define SYNERGY_LOG(level)                                  \
+  if (::synergy::LogLevel::level < ::synergy::Log::level()) \
+    ;                                                       \
+  else                                                      \
+    ::synergy::detail::LogLine(::synergy::LogLevel::level)

@@ -1,0 +1,51 @@
+// Deterministic, seedable random number generation.
+//
+// Experiments must be exactly reproducible from a 64-bit seed, so we ship a
+// self-contained xoshiro256** implementation instead of depending on
+// std::mt19937 distribution internals (which vary across standard
+// libraries).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace synergy {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform on the full 64-bit range.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Exponentially distributed duration with the given mean.
+  Duration exponential(Duration mean);
+
+  /// Uniform duration in [lo, hi].
+  Duration uniform(Duration lo, Duration hi);
+
+  /// Derive an independent stream (for per-process generators).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace synergy

@@ -1,0 +1,101 @@
+#include "common/serialize.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::bytes(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void ByteWriter::bytes_raw(const Bytes& b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+std::uint8_t ByteReader::u8() {
+  SYNERGY_EXPECTS(pos_ + 1 <= data_.size());
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  SYNERGY_EXPECTS(pos_ + 4 <= data_.size());
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  SYNERGY_EXPECTS(pos_ + 8 <= data_.size());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
+  return v;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  SYNERGY_EXPECTS(pos_ + n <= data_.size());
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes ByteReader::bytes() {
+  const std::uint32_t n = u32();
+  SYNERGY_EXPECTS(pos_ + n <= data_.size());
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+Bytes ByteReader::rest() {
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+  pos_ = data_.size();
+  return out;
+}
+
+std::uint64_t fingerprint(const Bytes& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace synergy

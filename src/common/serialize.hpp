@@ -1,0 +1,65 @@
+// Byte-level serialization for checkpoint records.
+//
+// Stable-storage checkpoints survive node crashes, so they must be real
+// byte blobs, not in-memory object graphs: the simulated stable store and
+// the file-backed store of the threaded runtime both persist the encoded
+// form produced here. Encoding is little-endian, fixed-width, versioned by
+// the caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace synergy {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+  void bytes(const Bytes& b);
+  /// Append raw bytes without a length prefix.
+  void bytes_raw(const Bytes& b);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads primitive values back; hard-fails (contract violation) on
+/// truncated input, since a short checkpoint blob means corrupted storage.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  Bytes bytes();
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  /// All remaining bytes (copy-through of trailing extension fields).
+  Bytes rest();
+
+ private:
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a fingerprint, used to compare application states cheaply.
+std::uint64_t fingerprint(const Bytes& data);
+
+}  // namespace synergy

@@ -1,0 +1,58 @@
+// Streaming statistics for experiment harnesses: Welford mean/variance,
+// normal-approximation confidence intervals, and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace synergy {
+
+/// Single-pass accumulator (Welford). Numerically stable; O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of the ~95% confidence interval on the mean
+  /// (normal approximation; returns 0 for n < 2).
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so totals always match the number of samples added.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Approximate quantile (q in [0,1]) by linear interpolation within bins.
+  double quantile(double q) const;
+  /// Render a compact ASCII bar chart (for bench output).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace synergy

@@ -1,0 +1,85 @@
+// Strongly-typed identifiers shared across the library.
+//
+// The paper's system model has three interacting processes (P1act, P1sdw,
+// P2) on three nodes; the library generalizes to arbitrary process counts
+// but keeps the three canonical roles as named constants.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace synergy {
+
+/// CRTP-free tagged integer id (Core Guidelines: avoid interchangeable ints).
+template <class Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value_(v) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct ProcessTag {};
+struct NodeTag {};
+
+/// Identifies one protocol participant (an application process).
+using ProcessId = Id<ProcessTag>;
+/// Identifies one hardware node (fault-containment unit for hardware faults).
+using NodeId = Id<NodeTag>;
+
+/// The three canonical roles of the paper's system model.
+enum class Role : std::uint8_t {
+  kP1Act,  ///< Active process of the low-confidence version.
+  kP1Sdw,  ///< Shadow process of the high-confidence version (suppressed).
+  kP2,     ///< Active process of the second, high-confidence component.
+};
+
+inline const char* to_string(Role r) {
+  switch (r) {
+    case Role::kP1Act: return "P1act";
+    case Role::kP1Sdw: return "P1sdw";
+    case Role::kP2: return "P2";
+  }
+  return "?";
+}
+
+/// Canonical process ids used throughout tests, benches, and examples.
+inline constexpr ProcessId kP1Act{0};
+inline constexpr ProcessId kP1Sdw{1};
+inline constexpr ProcessId kP2{2};
+inline constexpr std::uint32_t kNumCanonicalProcesses = 3;
+
+inline Role role_of(ProcessId p) {
+  switch (p.value()) {
+    case 0: return Role::kP1Act;
+    case 1: return Role::kP1Sdw;
+    default: return Role::kP2;
+  }
+}
+
+inline std::string to_string(ProcessId p) {
+  if (p.value() < kNumCanonicalProcesses) return to_string(role_of(p));
+  return "P" + std::to_string(p.value());
+}
+
+/// Monotone per-sender message sequence number (msg_SN in the paper).
+using MsgSeq = std::uint64_t;
+
+/// Stable-storage checkpoint sequence number (Ndc in the paper).
+using StableSeq = std::uint64_t;
+
+}  // namespace synergy
+
+template <class Tag>
+struct std::hash<synergy::Id<Tag>> {
+  std::size_t operator()(synergy::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

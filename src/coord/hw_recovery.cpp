@@ -1,0 +1,121 @@
+#include "coord/hw_recovery.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+HardwareRecoveryManager::HardwareRecoveryManager(
+    Simulator& sim, std::vector<ProcessNode*> nodes, Duration repair_latency,
+    TraceLog* trace)
+    : sim_(sim), nodes_(std::move(nodes)), repair_latency_(repair_latency),
+      trace_(trace) {
+  SYNERGY_EXPECTS(repair_latency >= Duration::zero());
+}
+
+void HardwareRecoveryManager::inject_fault(
+    NodeId node, std::uint32_t new_epoch,
+    std::function<void(const HwRecoveryStats&)> on_recovered) {
+  SYNERGY_EXPECTS(!pending_);  // single-fault-at-a-time model
+  ProcessNode* victim = nullptr;
+  for (ProcessNode* n : nodes_) {
+    if (n->node_id() == node) victim = n;
+  }
+  SYNERGY_EXPECTS(victim != nullptr);
+  if (victim->retired()) return;  // empty node: fault has no effect
+
+  ++faults_;
+  pending_ = true;
+  const TimePoint fault_time = sim_.now();
+  victim->crash();
+
+  // A global recovery is under way: freeze checkpoint establishment on
+  // the survivors (stop timers, abort in-progress writes). Otherwise a
+  // survivor could re-commit the current line index with post-fault
+  // content the victim can never match — a mixed-time recovery line.
+  for (ProcessNode* n : nodes_) {
+    if (n == victim || n->retired()) continue;
+    if (TbEngine* tb = n->tb()) tb->stop();
+    if (n->has_stable_storage()) n->sstore().crash_abort_in_progress();
+  }
+
+  sim_.schedule_after(
+      repair_latency_,
+      [this, fault_time, node, new_epoch,
+       on_recovered = std::move(on_recovered)] {
+        HwRecoveryStats stats = recover_all(fault_time, node, new_epoch);
+        pending_ = false;
+        if (on_recovered) on_recovered(stats);
+      });
+}
+
+HwRecoveryStats HardwareRecoveryManager::recover_all(TimePoint fault_time,
+                                                     NodeId faulty,
+                                                     std::uint32_t epoch) {
+  HwRecoveryStats stats;
+  stats.fault_time = fault_time;
+  stats.faulty_node = faulty;
+  stats.rollback_distance.resize(nodes_.size(), Duration::zero());
+  stats.restored_dirty.resize(nodes_.size(), false);
+
+  // The recovery line is the last checkpoint index *every* process has
+  // committed: a fault inside the timer-skew window leaves some processes
+  // one index ahead, and TB's guarantees hold per-index, not across
+  // indices. (Write-through has no indices; each process restores its
+  // latest validated checkpoint, which the paper argues form a consistent
+  // global state by construction.)
+  std::optional<StableSeq> line_ndc;
+  bool timered = true;
+  for (ProcessNode* n : nodes_) {
+    if (n->retired()) continue;
+    if (n->tb() == nullptr) timered = false;
+  }
+  if (timered) {
+    StableSeq min_ndc = ~StableSeq{0};
+    for (ProcessNode* n : nodes_) {
+      if (n->retired()) continue;
+      min_ndc = std::min(min_ndc, n->sstore().latest_ndc());
+    }
+    line_ndc = min_ndc;
+  }
+
+  // Phase 1: every non-retired process rolls back to the line.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    ProcessNode* n = nodes_[i];
+    if (n->retired()) continue;
+    const CheckpointRecord rec = n->restore_from_stable(epoch, line_ndc);
+    // Rollback distance counts undone *computation*: work done between the
+    // restored state and the fault. Repair downtime is not part of it.
+    stats.rollback_distance[i] = fault_time - rec.state_time;
+    stats.restored_dirty[i] = rec.dirty_bit;
+  }
+
+  // Phase 2: re-send unacked messages from the restored logs (after every
+  // process is back, so nothing is delivered into a dead node).
+  for (ProcessNode* n : nodes_) {
+    if (n->retired()) continue;
+    stats.resent_messages += n->resend_unacked();
+  }
+
+  if (trace_) {
+    trace_->record(sim_.now(), ProcessId{faulty.value()},
+                   TraceKind::kHwRecoveryDone);
+  }
+  return stats;
+}
+
+void HardwareRecoveryManager::install_plan(
+    const HardwareFaultPlan& plan, std::function<std::uint32_t()> next_epoch,
+    std::function<void(const HwRecoveryStats&)> on_recovered) {
+  for (const auto& ev : plan.events()) {
+    SYNERGY_EXPECTS(ev.at >= sim_.now());
+    sim_.schedule_at(ev.at, [this, ev, next_epoch, on_recovered] {
+      if (pending_) return;  // still repairing the previous fault: skip
+      inject_fault(ev.node, next_epoch(), on_recovered);
+    });
+  }
+}
+
+}  // namespace synergy

@@ -1,0 +1,170 @@
+#include "coord/node.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+namespace {
+
+ProcessId id_for(Role role) {
+  switch (role) {
+    case Role::kP1Act: return kP1Act;
+    case Role::kP1Sdw: return kP1Sdw;
+    case Role::kP2: return kP2;
+  }
+  SYNERGY_UNREACHABLE("bad role");
+}
+
+MdcdConfig mdcd_config_for(const NodeConfig& config) {
+  MdcdConfig c = config.mdcd;
+  // The scheme decides the MDCD variant: only the coordinated scheme runs
+  // the modified algorithms.
+  c.variant = config.scheme == Scheme::kCoordinated ? MdcdVariant::kModified
+                                                    : MdcdVariant::kOriginal;
+  return c;
+}
+
+TbParams tb_params_for(const NodeConfig& config) {
+  TbParams p = config.tb;
+  p.variant = config.scheme == Scheme::kCoordinated ? TbVariant::kAdapted
+                                                    : TbVariant::kOriginal;
+  return p;
+}
+
+}  // namespace
+
+ProcessNode::ProcessNode(Role role, Simulator& sim, Network& net,
+                         ClockEnsemble& ensemble, const NodeConfig& config,
+                         std::uint64_t app_seed, Rng rng, TraceLog* trace,
+                         std::function<void(ProcessId)> request_sw_recovery)
+    : role_(role), id_(id_for(role)), sim_(sim), net_(net), trace_(trace),
+      app_(app_seed) {
+  if (config.scheme != Scheme::kMdcdOnly) {
+    sstore_ = std::make_unique<StableStore>(sim, config.sstore);
+  }
+  at_ = std::make_unique<AcceptanceTest>(config.at, rng.split());
+  if (role == Role::kP1Act) {
+    sw_fault_ = std::make_unique<SoftwareFaultModel>(config.sw_fault,
+                                                     rng.split());
+  }
+
+  // The endpoint forwards every non-ack delivery into the MDCD engine.
+  endpoint_ = std::make_unique<ReliableEndpoint>(
+      net, id_, [this](const Message& m) { engine_->on_message(m); });
+
+  ProcessServices services;
+  services.self = id_;
+  services.now = [&sim] { return sim.now(); };
+  services.transport = endpoint_.get();
+  services.vstore = &vstore_;
+  services.app = &app_;
+  services.at = at_.get();
+  services.sw_fault = sw_fault_.get();
+  services.trace = trace;
+  services.request_sw_recovery = std::move(request_sw_recovery);
+
+  const MdcdConfig mdcd = mdcd_config_for(config);
+  switch (role) {
+    case Role::kP1Act: {
+      auto e = std::make_unique<P1ActEngine>(mdcd, std::move(services));
+      p1act_ = e.get();
+      engine_ = std::move(e);
+      break;
+    }
+    case Role::kP1Sdw: {
+      auto e = std::make_unique<P1SdwEngine>(mdcd, std::move(services));
+      p1sdw_ = e.get();
+      engine_ = std::move(e);
+      break;
+    }
+    case Role::kP2: {
+      auto e = std::make_unique<P2Engine>(mdcd, std::move(services));
+      p2_ = e.get();
+      engine_ = std::move(e);
+      break;
+    }
+  }
+
+  if (config.scheme == Scheme::kNaive ||
+      config.scheme == Scheme::kCoordinated) {
+    tb_ = std::make_unique<TbEngine>(
+        tb_params_for(config), *engine_, *sstore_, ensemble.timers(id_),
+        [&ensemble] { return ensemble.elapsed_since_resync(); }, trace);
+    engine_->set_ndc_provider([this] { return tb_->ndc(); });
+  }
+}
+
+void ProcessNode::start() {
+  if (sstore_) {
+    // Deployment-time initial checkpoint: every recoverable system boots
+    // with a committed stable state.
+    sstore_->commit_now(engine_->make_record(CkptKind::kStable));
+  }
+  if (tb_) tb_->start();
+}
+
+void ProcessNode::retire() {
+  retired_ = true;
+  engine_->kill();
+  if (tb_) tb_->stop();
+  endpoint_->detach_network();
+}
+
+void ProcessNode::crash() {
+  SYNERGY_EXPECTS(!retired_);
+  crashed_ = true;
+  engine_->kill();
+  if (tb_) tb_->stop();
+  endpoint_->detach_network();
+  net_.drop_in_transit_to(id_);
+  vstore_.crash_erase();
+  if (sstore_) sstore_->crash_abort_in_progress();
+  if (trace_) trace_->record(sim_.now(), id_, TraceKind::kHwFault);
+}
+
+CheckpointRecord ProcessNode::restore_from_stable(
+    std::uint32_t new_epoch, std::optional<StableSeq> line_ndc) {
+  SYNERGY_EXPECTS(!retired_);
+  SYNERGY_EXPECTS(sstore_ != nullptr);
+  // A write begun before the fault carries pre-rollback content: it must
+  // not commit into the post-recovery world.
+  sstore_->crash_abort_in_progress();
+  auto rec = line_ndc ? sstore_->committed_for(*line_ndc)
+                      : sstore_->latest_committed();
+  SYNERGY_ASSERT(rec.has_value());  // initial checkpoint guarantees this
+  // Records above the line were committed by the undone incarnation
+  // (survivors checkpointing through the repair window): purge them.
+  sstore_->discard_above(rec->ndc);
+
+  if (tb_) tb_->stop();
+  engine_->revive();
+  engine_->restore_from_record(*rec);
+  engine_->set_epoch(new_epoch);
+  engine_->fence_all_below(new_epoch);
+  endpoint_->reattach_network();
+  crashed_ = false;
+
+  // A restarted node re-checkpoints its boot state so the "dirty implies a
+  // volatile checkpoint exists" invariant holds from the first instant.
+  CheckpointRecord baseline = engine_->make_record(CkptKind::kType1);
+  baseline.state_time = rec->state_time;  // boot state is the restored state
+  vstore_.save(std::move(baseline));
+
+  if (tb_) tb_->reset_after_recovery(rec->ndc);
+  if (trace_) {
+    trace_->record(sim_.now(), id_, TraceKind::kHwRestore,
+                   to_string(rec->kind), rec->ndc);
+  }
+  return *rec;
+}
+
+std::size_t ProcessNode::resend_unacked() {
+  const std::size_t n = endpoint_->resend_unacked(engine_->epoch());
+  if (trace_ && n > 0) {
+    trace_->record(sim_.now(), id_, TraceKind::kResendUnacked, {}, n);
+  }
+  return n;
+}
+
+}  // namespace synergy

@@ -1,0 +1,124 @@
+// ProcessNode — one computing node hosting one protocol participant.
+//
+// Bundles everything that lives and dies with the node: the application
+// state, volatile and stable stores, the reliable transport endpoint, the
+// MDCD engine for the node's role, and (scheme-dependent) the TB engine.
+// Provides the crash / restore lifecycle the hardware-fault machinery
+// drives.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "app/acceptance_test.hpp"
+#include "app/fault.hpp"
+#include "app/state.hpp"
+#include "clock/ensemble.hpp"
+#include "coord/scheme.hpp"
+#include "mdcd/p1act.hpp"
+#include "mdcd/p1sdw.hpp"
+#include "mdcd/p2.hpp"
+#include "net/reliable.hpp"
+#include "sim/simulator.hpp"
+#include "storage/stable_store.hpp"
+#include "storage/volatile_store.hpp"
+#include "tb/config.hpp"
+#include "tb/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+struct NodeConfig {
+  MdcdConfig mdcd;
+  AtParams at;
+  /// Design-fault model; only applied when the node hosts P1act.
+  SoftwareFaultParams sw_fault;
+  StableStoreParams sstore;
+  TbParams tb;
+  Scheme scheme = Scheme::kCoordinated;
+};
+
+class ProcessNode {
+ public:
+  /// Builds the node for `role` under `config.scheme`. `ensemble` supplies
+  /// the node's local clock/timers; `request_sw_recovery` is the system
+  /// hook invoked on AT failure.
+  ProcessNode(Role role, Simulator& sim, Network& net, ClockEnsemble& ensemble,
+              const NodeConfig& config, std::uint64_t app_seed, Rng rng,
+              TraceLog* trace,
+              std::function<void(ProcessId)> request_sw_recovery);
+
+  ProcessNode(const ProcessNode&) = delete;
+  ProcessNode& operator=(const ProcessNode&) = delete;
+
+  Role role() const { return role_; }
+  ProcessId id() const { return id_; }
+  NodeId node_id() const { return NodeId{id_.value()}; }
+
+  MdcdEngine& engine() { return *engine_; }
+  const MdcdEngine& engine() const { return *engine_; }
+  P1ActEngine* p1act() { return p1act_; }
+  P1SdwEngine* p1sdw() { return p1sdw_; }
+  P2Engine* p2() { return p2_; }
+
+  ApplicationState& app() { return app_; }
+  VolatileStore& vstore() { return vstore_; }
+  StableStore& sstore() { return *sstore_; }
+  bool has_stable_storage() const { return sstore_ != nullptr; }
+  ReliableEndpoint& endpoint() { return *endpoint_; }
+  TbEngine* tb() { return tb_.get(); }
+  /// Design-fault model (non-null only on P1act's node).
+  SoftwareFaultModel* sw_fault() { return sw_fault_.get(); }
+  AcceptanceTest& at() { return *at_; }
+
+  /// Start protocol operation (arms the TB timer where the scheme has one).
+  void start();
+
+  /// Retired: the process left service permanently (P1act after takeover).
+  /// A retired node ignores crashes and is skipped by recovery.
+  void retire();
+  bool retired() const { return retired_; }
+
+  /// Node crash: volatile contents lost, in-progress stable write lost,
+  /// process terminated, in-transit messages to it dropped.
+  void crash();
+  bool crashed() const { return crashed_; }
+
+  /// Restart from a committed stable checkpoint with the given recovery
+  /// epoch: the record with index `line_ndc` when given (the recovery
+  /// line's common index), else the latest. Aborts any in-progress stable
+  /// write (its content predates the rollback), re-seeds the volatile
+  /// store with the restored state, fences stale messages and re-arms the
+  /// TB timer. Returns the restored record.
+  CheckpointRecord restore_from_stable(std::uint32_t new_epoch,
+                                       std::optional<StableSeq> line_ndc =
+                                           std::nullopt);
+
+  /// Re-send the restored unacked log (call after *all* nodes restored).
+  std::size_t resend_unacked();
+
+ private:
+  Role role_;
+  ProcessId id_;
+  Simulator& sim_;
+  Network& net_;
+  TraceLog* trace_;
+
+  ApplicationState app_;
+  VolatileStore vstore_;
+  std::unique_ptr<StableStore> sstore_;
+  std::unique_ptr<AcceptanceTest> at_;
+  std::unique_ptr<SoftwareFaultModel> sw_fault_;
+  std::unique_ptr<ReliableEndpoint> endpoint_;
+  std::unique_ptr<MdcdEngine> engine_;
+  P1ActEngine* p1act_ = nullptr;
+  P1SdwEngine* p1sdw_ = nullptr;
+  P2Engine* p2_ = nullptr;
+  std::unique_ptr<TbEngine> tb_;
+
+  bool retired_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace synergy

@@ -1,0 +1,37 @@
+// The fault-tolerance schemes the library can run (paper §3–§4).
+#pragma once
+
+namespace synergy {
+
+enum class Scheme {
+  /// Original MDCD alone: software fault tolerance only, volatile
+  /// checkpoints, no stable storage. Hardware faults are not survivable.
+  kMdcdOnly,
+
+  /// The "write-through" straight extension (paper §3): original MDCD,
+  /// with every process — P1act included — writing a Type-2 checkpoint to
+  /// stable storage on each validation event. No timers, no blocking.
+  /// Baseline for Figure 7 (E[Dwt]).
+  kWriteThrough,
+
+  /// Naive combination (paper §4.1, Figure 4): original MDCD and original
+  /// TB running concurrently with no coordination. Demonstrably loses
+  /// non-contaminated states and violates recoverability.
+  kNaive,
+
+  /// The paper's contribution (§3–§4.2): modified MDCD + adapted TB,
+  /// synergistically coordinated. Figure 7's E[Dco].
+  kCoordinated,
+};
+
+inline const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kMdcdOnly: return "mdcd_only";
+    case Scheme::kWriteThrough: return "write_through";
+    case Scheme::kNaive: return "naive";
+    case Scheme::kCoordinated: return "coordinated";
+  }
+  return "?";
+}
+
+}  // namespace synergy

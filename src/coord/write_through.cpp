@@ -1,0 +1,36 @@
+#include "coord/write_through.hpp"
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+WriteThroughCoordinator::WriteThroughCoordinator(
+    std::vector<ProcessNode*> nodes, TraceLog* trace)
+    : nodes_(std::move(nodes)), trace_(trace) {}
+
+void WriteThroughCoordinator::install() {
+  for (ProcessNode* node : nodes_) {
+    SYNERGY_EXPECTS(node->has_stable_storage());
+    node->engine().set_validation_observer(
+        [this, node] { on_validation(*node); });
+  }
+}
+
+void WriteThroughCoordinator::on_validation(ProcessNode& node) {
+  // The validated state is clean by construction (the validation event just
+  // cleared the dirty bit); write it through as the process's recovery
+  // point. A still-running earlier write is superseded.
+  CheckpointRecord rec = node.engine().make_record(CkptKind::kStable);
+  ++writes_;
+  if (trace_) {
+    trace_->record(node.engine().current_time(), node.id(),
+                   TraceKind::kStableBegin, "write_through");
+  }
+  if (node.sstore().write_in_progress()) {
+    node.sstore().replace_in_progress(std::move(rec));
+  } else {
+    node.sstore().begin_write(std::move(rec));
+  }
+}
+
+}  // namespace synergy

@@ -1,0 +1,35 @@
+// Write-through baseline (paper §3).
+//
+// The straight extension of MDCD for hardware faults: every validation
+// event (own AT pass or received passed-AT notification) makes the process
+// write its Type-2 checkpoint through to stable storage. No timers, no
+// blocking. The frequency and spacing of stable checkpoints is therefore
+// tied to the *external* message rate, which is what makes the rollback
+// distance E[Dwt] large (Figure 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coord/node.hpp"
+
+namespace synergy {
+
+class WriteThroughCoordinator {
+ public:
+  WriteThroughCoordinator(std::vector<ProcessNode*> nodes, TraceLog* trace);
+
+  /// Hook the validation observers. Call once, before the run starts.
+  void install();
+
+  std::uint64_t stable_writes() const { return writes_; }
+
+ private:
+  void on_validation(ProcessNode& node);
+
+  std::vector<ProcessNode*> nodes_;
+  TraceLog* trace_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace synergy

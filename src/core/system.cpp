@@ -1,0 +1,228 @@
+#include "core/system.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+System::System(const SystemConfig& config) : config_(config) {
+  rng_ = std::make_unique<Rng>(config.seed);
+  net_ = std::make_unique<Network>(sim_, config.net, rng_->split());
+  clocks_ = std::make_unique<ClockEnsemble>(sim_, config.clock,
+                                            kNumCanonicalProcesses,
+                                            rng_->split());
+
+  // The device records every external message it is handed.
+  net_->attach(kDeviceId, [this](const Message& m) {
+    device_.entries.push_back(
+        DeviceLog::Entry{sim_.now(), m.sender, m.payload, m.tainted});
+  });
+
+  NodeConfig nc;
+  nc.mdcd.gate_mode = config.gate_mode;
+  nc.mdcd.tracking = config.tracking;
+  nc.mdcd.record_history = config.record_history;
+  nc.at = config.at;
+  nc.sw_fault = config.sw_fault;
+  nc.sstore = config.sstore;
+  nc.tb = config.tb;
+  // Keep the TB protocol's environmental bounds coherent with the actual
+  // clock and network models.
+  nc.tb.delta = config.clock.delta;
+  nc.tb.rho = config.clock.rho;
+  nc.tb.tmin = config.net.tmin;
+  nc.tb.tmax = config.net.tmax;
+  nc.scheme = config.scheme;
+
+  TraceLog* trace = config.enable_trace ? &trace_ : nullptr;
+  auto recovery_cb = [this](ProcessId detector) { on_at_failure(detector); };
+
+  // P1act and P1sdw share the application seed: the shadow performs the
+  // same computation on the same inputs.
+  const std::uint64_t c1_seed = config.seed * 2654435761u + 1;
+  const std::uint64_t p2_seed = config.seed * 2654435761u + 2;
+  const Role roles[] = {Role::kP1Act, Role::kP1Sdw, Role::kP2};
+  for (Role role : roles) {
+    const std::uint64_t app_seed = role == Role::kP2 ? p2_seed : c1_seed;
+    nodes_.push_back(std::make_unique<ProcessNode>(
+        role, sim_, *net_, *clocks_, nc, app_seed, rng_->split(), trace,
+        recovery_cb));
+  }
+
+  // TB engines request clock resynchronization through the ensemble.
+  for (auto& node : nodes_) {
+    if (TbEngine* tb = node->tb()) {
+      tb->set_resync_requester([this] {
+        clocks_->resync_all();
+        if (config_.enable_trace) {
+          trace_.record(sim_.now(), ProcessId{0}, TraceKind::kResync);
+        }
+      });
+    }
+  }
+
+  if (config.scheme == Scheme::kWriteThrough) {
+    write_through_ = std::make_unique<WriteThroughCoordinator>(
+        std::vector<ProcessNode*>{nodes_[0].get(), nodes_[1].get(),
+                                  nodes_[2].get()},
+        trace);
+    write_through_->install();
+  }
+
+  hw_manager_ = std::make_unique<HardwareRecoveryManager>(
+      sim_,
+      std::vector<ProcessNode*>{nodes_[0].get(), nodes_[1].get(),
+                                nodes_[2].get()},
+      config.repair_latency, trace);
+
+  sw_manager_ = std::make_unique<SoftwareRecoveryManager>(
+      *nodes_[0]->p1act(), *nodes_[1]->p1sdw(), *nodes_[2]->p2(),
+      [this] { return sim_.now(); }, trace);
+
+  workload_ = std::make_unique<WorkloadDriver>(sim_, config.workload,
+                                               rng_->split());
+  workload_->set_component1_send([this](bool external, std::uint64_t input) {
+    nodes_[0]->engine().on_app_send(external, input);
+    nodes_[1]->engine().on_app_send(external, input);
+  });
+  workload_->set_component1_step([this](std::uint64_t input) {
+    nodes_[0]->engine().on_local_step(input);
+    nodes_[1]->engine().on_local_step(input);
+  });
+  workload_->set_p2_send([this](bool external, std::uint64_t input) {
+    nodes_[2]->engine().on_app_send(external, input);
+  });
+  workload_->set_p2_step([this](std::uint64_t input) {
+    nodes_[2]->engine().on_local_step(input);
+  });
+}
+
+System::~System() = default;
+
+ProcessNode& System::node(ProcessId id) {
+  SYNERGY_EXPECTS(id.value() < nodes_.size());
+  return *nodes_[id.value()];
+}
+
+void System::start(TimePoint horizon) {
+  SYNERGY_EXPECTS(!started_);
+  started_ = true;
+  horizon_ = horizon;
+  for (auto& node : nodes_) node->start();
+  workload_->start(horizon);
+}
+
+void System::run_until(TimePoint deadline) { sim_.run_until(deadline); }
+
+void System::run() {
+  SYNERGY_EXPECTS(started_);
+  sim_.run_until(horizon_);
+}
+
+void System::schedule_hw_fault(TimePoint at, NodeId node_id) {
+  SYNERGY_EXPECTS(config_.scheme != Scheme::kMdcdOnly);
+  sim_.schedule_at(at, [this, node_id] {
+    if (hw_manager_->recovery_pending()) return;
+    if (node(ProcessId{node_id.value()}).retired()) return;
+    hw_manager_->inject_fault(node_id, next_epoch(),
+                              [this](const HwRecoveryStats& stats) {
+                                hw_recoveries_.push_back(stats);
+                              });
+  });
+}
+
+void System::schedule_sw_error(TimePoint at) {
+  sim_.schedule_at(at, [this] {
+    ProcessNode& n = *nodes_[0];
+    if (!n.engine().alive()) return;
+    n.app().corrupt(rng_->next());
+    // Drive an external send so the acceptance test runs on the erroneous
+    // output (deterministic software-error scenario).
+    n.engine().on_app_send(/*external=*/true, rng_->next());
+  });
+}
+
+void System::on_at_failure(ProcessId detector) {
+  ++at_failures_;
+  if (sw_recovery_.has_value()) {
+    // The spare is already in service; a further AT failure exhausts the
+    // design-diversity redundancy. Recorded, not recovered.
+    return;
+  }
+  sw_recovery_ = sw_manager_->recover(detector, next_epoch());
+
+  // Establish a fresh recovery line: the takeover must never be split by a
+  // later hardware rollback (stable checkpoints predating it would
+  // resurrect the retired P1act). The line gets a *common* index beyond
+  // every survivor's current Ndc, and each TB schedule fast-forwards to it
+  // — mixing per-node indices would pair pre- and post-takeover records.
+  if (config_.scheme != Scheme::kMdcdOnly) {
+    // Boundary-aligned index strictly after every survivor's schedule
+    // position: the next TB expiry re-commits the same index for everyone.
+    StableSeq line = static_cast<StableSeq>(sim_.now().count() /
+                                            config_.tb.interval.count()) +
+                     1;
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      if (TbEngine* tb = nodes_[i]->tb()) {
+        line = std::max(line, tb->ndc() + 1);
+      }
+    }
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      ProcessNode& n = *nodes_[i];
+      // A survivor parked in a blocking period drains it now: its deferred
+      // work lands after the recovery instant on both sides of the line.
+      if (n.engine().in_blocking()) n.engine().end_blocking();
+      CheckpointRecord rec = n.engine().make_record(CkptKind::kStable);
+      rec.ndc = line;
+      n.sstore().commit_now(std::move(rec));
+      if (TbEngine* tb = n.tb()) tb->reset_after_recovery(line);
+    }
+  }
+  nodes_[0]->retire();
+}
+
+GlobalState System::stable_line_state() const {
+  // Mirror the recovery selection: the line is the last checkpoint index
+  // every (timer-driven) process has committed. Write-through has no
+  // indices; each process contributes its latest validated checkpoint.
+  std::vector<ProcessNode*> participants;
+  bool timered = true;
+  for (const auto& node : nodes_) {
+    if (node->retired()) continue;
+    auto* n = const_cast<ProcessNode*>(node.get());
+    if (!n->has_stable_storage()) continue;
+    participants.push_back(n);
+    if (n->tb() == nullptr) timered = false;
+  }
+  std::vector<CheckpointRecord> records;
+  if (timered && !participants.empty()) {
+    StableSeq line = ~StableSeq{0};
+    for (ProcessNode* n : participants) {
+      line = std::min(line, n->sstore().latest_ndc());
+    }
+    for (ProcessNode* n : participants) {
+      auto rec = n->sstore().committed_for(line);
+      if (rec) records.push_back(std::move(*rec));
+    }
+  } else {
+    for (ProcessNode* n : participants) {
+      auto rec = n->sstore().latest_committed();
+      if (rec) records.push_back(std::move(*rec));
+    }
+  }
+  return global_state_from_records(records);
+}
+
+GlobalState System::live_state() const {
+  GlobalState state;
+  for (const auto& node : nodes_) {
+    const MdcdEngine& engine = node->engine();
+    if (!engine.alive()) continue;
+    state.processes.push_back(
+        facts_from_engine(engine, engine.current_time()));
+  }
+  return state;
+}
+
+}  // namespace synergy

@@ -1,0 +1,161 @@
+// synergy::System — the library's primary facade.
+//
+// Assembles the paper's three-node guarded system on the discrete-event
+// simulator: P1act (low-confidence active), P1sdw (high-confidence shadow)
+// and P2 on three nodes with drifting clocks, a bounded-delay network,
+// volatile + stable storage, the MDCD engines, and — scheme-dependent —
+// TB engines or the write-through coordinator. Drives workloads, injects
+// software and hardware faults, runs recoveries, and exposes the global
+// states the analysis oracles consume.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   SystemConfig config;
+//   config.scheme = Scheme::kCoordinated;
+//   System system(config);
+//   system.start(TimePoint::origin() + Duration::seconds(3600));
+//   system.schedule_hw_fault(TimePoint::origin() + Duration::seconds(1800),
+//                            NodeId{2});
+//   system.run();
+//   for (const auto& r : system.hw_recoveries()) { ... }
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/global_state.hpp"
+#include "app/workload.hpp"
+#include "clock/ensemble.hpp"
+#include "coord/hw_recovery.hpp"
+#include "coord/node.hpp"
+#include "coord/write_through.hpp"
+#include "mdcd/recovery.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+struct SystemConfig {
+  Scheme scheme = Scheme::kCoordinated;
+  /// Corrected defaults; set kPaper / kPaperDirtyBit to study the
+  /// paper-faithful algorithms (see the gate/tracking ablation benches).
+  NdcGateMode gate_mode = NdcGateMode::kBlockingAware;
+  ContaminationTracking tracking = ContaminationTracking::kWatermark;
+  /// Keep per-message validity views (required by the oracles; disable for
+  /// long performance sweeps).
+  bool record_history = true;
+
+  ClockParams clock;
+  NetworkParams net;
+  StableStoreParams sstore;
+  TbParams tb;  ///< variant is overridden by `scheme`
+  AtParams at;
+  SoftwareFaultParams sw_fault;
+  WorkloadParams workload;
+
+  /// Downtime between a hardware fault and the coordinated restart.
+  Duration repair_latency = Duration::seconds(1);
+
+  std::uint64_t seed = 1;
+  /// Record protocol events into the trace log (scenario figures, tests).
+  bool enable_trace = true;
+};
+
+/// Recording sink for external messages (the device).
+struct DeviceLog {
+  struct Entry {
+    TimePoint at;
+    ProcessId from;
+    std::uint64_t payload;
+    bool tainted;
+  };
+  std::vector<Entry> entries;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // ---- Accessors ----------------------------------------------------------
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  ClockEnsemble& clocks() { return *clocks_; }
+  TraceLog& trace() { return trace_; }
+  const SystemConfig& config() const { return config_; }
+  DeviceLog& device() { return device_; }
+
+  ProcessNode& node(ProcessId id);
+  P1ActEngine& p1act() { return *nodes_[0]->p1act(); }
+  P1SdwEngine& p1sdw() { return *nodes_[1]->p1sdw(); }
+  P2Engine& p2() { return *nodes_[2]->p2(); }
+
+  // ---- Lifecycle ------------------------------------------------------------
+  /// Write initial stable checkpoints, arm TB timers, start the workload.
+  void start(TimePoint horizon);
+
+  /// Run the simulation until the event queue drains or `deadline`.
+  void run_until(TimePoint deadline);
+  /// Run until the horizon given to start().
+  void run();
+
+  // ---- Fault injection ---------------------------------------------------------
+  /// Crash `node_id` at time `at` (hardware fault; recovery is automatic).
+  void schedule_hw_fault(TimePoint at, NodeId node_id);
+
+  /// Corrupt P1act's state at time `at` and immediately drive an external
+  /// send, so the acceptance test fires deterministically (with the
+  /// configured coverage).
+  void schedule_sw_error(TimePoint at);
+
+  // ---- Results ---------------------------------------------------------------
+  const std::vector<HwRecoveryStats>& hw_recoveries() const {
+    return hw_recoveries_;
+  }
+  const std::optional<SwRecoveryStats>& sw_recovery() const {
+    return sw_recovery_;
+  }
+  std::uint64_t at_failures_observed() const { return at_failures_; }
+
+  /// Global state a hardware recovery would restore right now (decoded
+  /// from the latest committed stable checkpoints of non-retired nodes).
+  GlobalState stable_line_state() const;
+
+  /// Global state of the live engines (post-recovery audits).
+  GlobalState live_state() const;
+
+  /// The write-through coordinator (null unless scheme == kWriteThrough).
+  WriteThroughCoordinator* write_through() { return write_through_.get(); }
+  HardwareRecoveryManager& hw_manager() { return *hw_manager_; }
+
+ private:
+  void on_at_failure(ProcessId detector);
+  std::uint32_t next_epoch() { return ++epoch_counter_; }
+
+  SystemConfig config_;
+  Simulator sim_;
+  TraceLog trace_;
+  DeviceLog device_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ClockEnsemble> clocks_;
+  std::vector<std::unique_ptr<ProcessNode>> nodes_;
+  std::unique_ptr<WorkloadDriver> workload_;
+  std::unique_ptr<WriteThroughCoordinator> write_through_;
+  std::unique_ptr<HardwareRecoveryManager> hw_manager_;
+  std::unique_ptr<SoftwareRecoveryManager> sw_manager_;
+
+  TimePoint horizon_;
+  bool started_ = false;
+  std::uint32_t epoch_counter_ = 0;
+  std::uint64_t at_failures_ = 0;
+  std::vector<HwRecoveryStats> hw_recoveries_;
+  std::optional<SwRecoveryStats> sw_recovery_;
+  std::unique_ptr<Rng> rng_;
+};
+
+}  // namespace synergy

@@ -1,0 +1,53 @@
+#include "general/contam.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace synergy {
+
+void contam_merge(ContamVector& into, const ContamVector& other) {
+  for (const auto& [source, sn] : other) {
+    auto [it, inserted] = into.emplace(source, sn);
+    if (!inserted) it->second = std::max(it->second, sn);
+  }
+}
+
+bool contam_covered(const ContamVector& contam,
+                    const ContamVector& validated) {
+  for (const auto& [source, sn] : contam) {
+    auto it = validated.find(source);
+    if (it == validated.end() || it->second < sn) return false;
+  }
+  return true;
+}
+
+void contam_serialize(const ContamVector& v, ByteWriter& w) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& [source, sn] : v) {
+    w.u32(source);
+    w.u64(sn);
+  }
+}
+
+ContamVector contam_deserialize(ByteReader& r) {
+  ContamVector v;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t source = r.u32();
+    v[source] = r.u64();
+  }
+  return v;
+}
+
+std::string contam_to_string(const ContamVector& v) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [source, sn] : v) {
+    if (!first) out << ',';
+    out << source << ':' << sn;
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace synergy

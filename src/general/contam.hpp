@@ -1,0 +1,34 @@
+// Per-source contamination vectors for the generalized protocol.
+//
+// With several low-confidence components in service, "potentially
+// contaminated" is no longer a single bit plus one watermark: a process's
+// suspicion is a vector mapping each contamination *source* (a
+// low-confidence component) to the highest message SN of that source its
+// state transitively depends on. Validations likewise carry the coverage
+// they grant per source. The canonical three-process protocol is the
+// special case with a single source.
+#pragma once
+
+#include <map>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace synergy {
+
+/// Source component index -> highest depended-on message SN.
+using ContamVector = std::map<std::uint32_t, MsgSeq>;
+
+/// Pointwise max merge: absorb `other` into `into`.
+void contam_merge(ContamVector& into, const ContamVector& other);
+
+/// True iff every entry of `contam` is covered by `validated`.
+bool contam_covered(const ContamVector& contam, const ContamVector& validated);
+
+void contam_serialize(const ContamVector& v, ByteWriter& w);
+ContamVector contam_deserialize(ByteReader& r);
+
+/// Compact rendering for traces/tests: "0:12,2:5".
+std::string contam_to_string(const ContamVector& v);
+
+}  // namespace synergy

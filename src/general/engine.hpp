@@ -1,0 +1,199 @@
+// Generalized MDCD engine — N components, per-source contamination.
+//
+// One engine instance per process. Three kinds:
+//   kActive  — the in-service process of a low-confidence component: its
+//              own sends are a contamination source (tracked per-source);
+//              external sends are always AT-validated; a pseudo checkpoint
+//              anchors each burst of unvalidated sends.
+//   kShadow  — the high-confidence twin of a low component: mirrors the
+//              computation, suppresses and logs outputs, reclaims the log
+//              as validations cover its component's SNs, and takes over on
+//              software error recovery.
+//   kRegular — a high-confidence component: contaminated only by what it
+//              absorbs; AT on external sends while contaminated.
+//
+// The engine carries the corrected semantics of the canonical protocol
+// (DESIGN.md §7) generalized to contamination *vectors*: messages and
+// validations carry per-source watermark maps, dirt clears per-source,
+// views upgrade when their whole vector is covered, and acknowledgments
+// are validation-gated. Implements CheckpointableProcess, so the adapted
+// TB engine coordinates it unchanged.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "general/contam.hpp"
+#include "general/topology.hpp"
+#include "mdcd/checkpointable.hpp"
+#include "mdcd/config.hpp"
+#include "mdcd/services.hpp"
+
+namespace synergy {
+
+enum class GProcessKind : std::uint8_t { kActive, kShadow, kRegular };
+
+const char* to_string(GProcessKind kind);
+
+/// View entry with a full contamination vector (general-protocol analogue
+/// of MsgView).
+struct GView {
+  ProcessId peer;
+  std::uint64_t transport_seq;
+  MsgSeq sn;
+  MsgKind kind;
+  bool suspect;
+  ContamVector contam;
+};
+
+class GeneralEngine final : public CheckpointableProcess {
+ public:
+  GeneralEngine(const Topology& topology, ProcessId self,
+                const MdcdConfig& config, ProcessServices services);
+
+  GProcessKind kind() const { return kind_; }
+  std::uint32_t component() const { return component_; }
+
+  // ---- Workload / transport events ---------------------------------------
+  void on_app_send(bool external, std::uint64_t input);
+  void on_local_step(std::uint64_t input);
+  void on_message(const Message& m);
+
+  // ---- CheckpointableProcess ----------------------------------------------
+  ProcessId self() const override { return services_.self; }
+  bool alive() const override { return alive_; }
+  TimePoint current_time() const override { return services_.now(); }
+  bool contamination_flag() const override;
+  const std::optional<CheckpointRecord>& latest_volatile() const override {
+    return services_.vstore->latest();
+  }
+  CheckpointRecord make_record(CkptKind kind) const override;
+  void begin_blocking() override;
+  void end_blocking() override;
+  bool in_blocking() const override { return blocking_; }
+  void set_contamination_cleared_observer(std::function<void()> fn) override {
+    contamination_cleared_ = std::move(fn);
+  }
+
+  // ---- Coordination / recovery surface -------------------------------------
+  void set_ndc_provider(std::function<StableSeq()> fn);
+  bool dirty() const;          ///< uncovered absorbed contamination exists
+  bool pseudo_dirty() const;   ///< (active) uncovered own sends exist
+  std::uint32_t epoch() const { return epoch_; }
+  void set_epoch(std::uint32_t e) { epoch_ = e; }
+  void fence_all_below(std::uint32_t epoch);
+  void fence_dirty_below(std::uint32_t epoch);
+  void kill() { alive_ = false; }
+  void revive() { alive_ = true; }
+  bool active_role() const { return takeover_done_ || kind_ != GProcessKind::kShadow; }
+
+  /// Shadow takeover: assume the active role and replay logged messages
+  /// beyond the validated watermark of this component. Returns the number
+  /// replayed.
+  std::size_t takeover();
+
+  /// System-wide reconfiguration knowledge: component `c` failed over to
+  /// its shadow; its retired active process gets no further traffic.
+  /// Persisted in the protocol state (survives rollbacks).
+  void mark_component_failed_over(std::uint32_t c) {
+    failed_over_.insert(c);
+  }
+
+  void restore_from_record(const CheckpointRecord& record);
+  Bytes snapshot_protocol_state() const;
+  void restore_protocol_state(const Bytes& state);
+
+  // ---- Oracle / diagnostics -------------------------------------------------
+  const ContamVector& absorbed() const { return absorbed_; }
+  const ContamVector& validated() const { return validated_; }
+  const std::vector<GView>& sent_views() const { return sent_views_; }
+  const std::vector<GView>& recv_views() const { return recv_views_; }
+  const std::vector<Message>& suppressed_log() const { return msg_log_; }
+  MsgSeq msg_sn() const { return msg_sn_; }
+  bool app_tainted() const { return services_.app->tainted(); }
+
+ private:
+  struct SendReq {
+    bool external;
+    std::uint64_t input;
+  };
+  struct StepReq {
+    std::uint64_t input;
+  };
+  using Deferred = std::variant<SendReq, StepReq, Message>;
+  struct AckKey {
+    ProcessId sender;
+    std::uint64_t transport_seq;
+  };
+
+  void do_app_send(bool external, std::uint64_t input);
+  void do_step(std::uint64_t input);
+  void process_message(const Message& m);
+  void do_app_message(const Message& m);
+  void do_passed_at(const Message& m);
+  bool consume_or_drop(const Message& m);
+  bool ndc_gate_ok(const Message& m);
+
+  /// Current outgoing contamination: absorbed dirt plus (active) the own
+  /// source watermark.
+  ContamVector outgoing_contam(MsgSeq own_sn) const;
+
+  /// Apply a validation covering `coverage`: raise validated_, clear
+  /// covered dirt/pseudo, upgrade views, flush acks on full clear.
+  void apply_validation(const ContamVector& coverage);
+
+  void settle_ack(const Message& m);
+  void flush_deferred_acks();
+
+  // ---- Anchor ring ---------------------------------------------------------
+  // With several contamination sources a validation can cover a *prefix*
+  // of a process's dirt; the correct recovery anchor is then the state
+  // just before the first still-uncovered absorption — which no single
+  // Type-1 checkpoint provides. The engine therefore captures a candidate
+  // anchor before every absorption (and before every own-source send of
+  // an active) and, on each validation, promotes the newest candidate
+  // whose captured dependency vector is fully covered. The promoted
+  // record is what latest_volatile() / the TB copy path sees.
+  void capture_anchor(CkptKind kind);
+  void refresh_best_anchor();
+
+  void send_internal_multicast(std::uint64_t payload, bool tainted);
+  void trace(TraceKind kind, std::string detail = {}, std::uint64_t a = 0,
+             std::uint64_t b = 0) const;
+
+  const Topology& topology_;
+  GProcessKind kind_;
+  std::uint32_t component_;
+  MdcdConfig config_;
+  ProcessServices services_;
+
+  MsgSeq msg_sn_ = 0;
+  bool dirty_bit_ = false;
+  ContamVector absorbed_;
+  ContamVector validated_;
+  bool alive_ = true;
+  bool takeover_done_ = false;
+  bool blocking_ = false;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t fence_all_ = 0;
+  std::uint32_t fence_dirty_ = 0;
+  std::deque<Deferred> deferred_;
+  std::vector<AckKey> deferred_acks_;
+  struct AnchorCandidate {
+    ContamVector absorbed_at;  ///< dependencies of the captured state
+    CheckpointRecord record;
+  };
+  static constexpr std::size_t kMaxAnchorCandidates = 64;
+  std::deque<AnchorCandidate> anchor_candidates_;
+  std::vector<Message> msg_log_;  // shadow suppression log
+  std::set<std::uint32_t> failed_over_;
+  std::vector<GView> sent_views_;
+  std::vector<GView> recv_views_;
+  std::function<StableSeq()> ndc_provider_ = [] { return StableSeq{0}; };
+  std::function<void()> contamination_cleared_;
+};
+
+}  // namespace synergy

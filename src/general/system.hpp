@@ -1,0 +1,139 @@
+// GeneralSystem — the generalized protocol on the discrete-event simulator.
+//
+// Builds one process per component (plus a shadow per low-confidence
+// component) on its own node with a drifting clock, volatile + stable
+// storage and a reliable endpoint; runs the generalized MDCD engine
+// coordinated with the adapted TB engine; drives Poisson workloads per
+// component; and provides software- and hardware-fault injection with the
+// same recovery semantics as the canonical system, generalized to any
+// number of guarded components.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/global_state.hpp"
+#include "app/acceptance_test.hpp"
+#include "app/fault.hpp"
+#include "app/state.hpp"
+#include "clock/ensemble.hpp"
+#include "general/engine.hpp"
+#include "general/topology.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "storage/stable_store.hpp"
+#include "storage/volatile_store.hpp"
+#include "tb/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+struct GeneralConfig {
+  MdcdConfig mdcd;  ///< corrected gate/tracking defaults
+  AtParams at;
+  ClockParams clock;
+  NetworkParams net;
+  StableStoreParams sstore;
+  TbParams tb;  ///< variant forced to kAdapted
+  Duration repair_latency = Duration::seconds(1);
+  std::uint64_t seed = 1;
+  bool enable_trace = true;
+};
+
+struct GeneralSwRecovery {
+  ProcessId detector;
+  std::size_t rolled_back = 0;
+  std::size_t replayed = 0;
+};
+
+struct GeneralHwRecovery {
+  TimePoint fault_time;
+  ProcessId victim;
+  std::vector<Duration> rollback_distance;  // per process id
+  std::size_t resent = 0;
+};
+
+class GeneralSystem {
+ public:
+  GeneralSystem(Topology topology, const GeneralConfig& config);
+  ~GeneralSystem();
+
+  GeneralSystem(const GeneralSystem&) = delete;
+  GeneralSystem& operator=(const GeneralSystem&) = delete;
+
+  Simulator& sim() { return sim_; }
+  TraceLog& trace() { return trace_; }
+  const Topology& topology() const { return topology_; }
+  GeneralEngine& engine(ProcessId p);
+  TbEngine& tb(ProcessId p);
+  ApplicationState& app(ProcessId p);
+  std::size_t device_outputs() const { return device_.size(); }
+  const std::vector<Message>& device_log() const { return device_; }
+
+  void start(TimePoint horizon);
+  void run();
+  void run_until(TimePoint deadline) { sim_.run_until(deadline); }
+
+  /// Corrupt component `c`'s active process at `at` and force an external
+  /// send (deterministic software error).
+  void schedule_sw_error(TimePoint at, std::uint32_t component);
+
+  /// Crash process `victim`'s node at `at`; global recovery follows.
+  void schedule_hw_fault(TimePoint at, ProcessId victim);
+
+  const std::optional<GeneralSwRecovery>& sw_recovery() const {
+    return sw_recovery_;
+  }
+  const std::vector<GeneralHwRecovery>& hw_recoveries() const {
+    return hw_recoveries_;
+  }
+
+  /// Recovery-line audit surface (the same oracles as the canonical
+  /// system; general views are converted to plain ViewLogs).
+  GlobalState stable_line_state() const;
+  GlobalState live_state() const;
+
+ private:
+  struct GNode {
+    ProcessId id;
+    std::unique_ptr<ApplicationState> app;
+    VolatileStore vstore;
+    std::unique_ptr<StableStore> sstore;
+    std::unique_ptr<AcceptanceTest> at;
+    std::unique_ptr<SoftwareFaultModel> sw_fault;
+    std::unique_ptr<ReliableEndpoint> endpoint;
+    std::unique_ptr<GeneralEngine> engine;
+    std::unique_ptr<TbEngine> tb;
+    bool retired = false;
+    bool crashed = false;
+  };
+
+  void arm_workload(std::uint32_t component, TimePoint until);
+  void on_at_failure(ProcessId detector);
+  void recover_hw(TimePoint fault_time, ProcessId victim);
+  ProcessFacts facts_for(const GNode& node,
+                         const CheckpointRecord& record) const;
+
+  Topology topology_;
+  GeneralConfig config_;
+  Simulator sim_;
+  TraceLog trace_;
+  std::vector<Message> device_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ClockEnsemble> clocks_;
+  std::vector<std::unique_ptr<GNode>> nodes_;
+  TimePoint horizon_;
+  bool started_ = false;
+  bool hw_pending_ = false;
+  std::uint32_t epoch_counter_ = 0;
+  std::optional<GeneralSwRecovery> sw_recovery_;
+  std::vector<GeneralHwRecovery> hw_recoveries_;
+};
+
+/// Decode ProcessFacts from a generalized checkpoint record (the general
+/// engine's protocol-state layout differs from the canonical one).
+ProcessFacts general_facts_from_record(const CheckpointRecord& record);
+
+}  // namespace synergy

@@ -1,0 +1,47 @@
+// The surface a TB checkpointing engine needs from the process it guards.
+//
+// Both the canonical three-process MDCD engines and the generalized
+// N-component engine (src/general) implement this, so the same adapted TB
+// protocol coordinates either.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "storage/checkpoint.hpp"
+
+namespace synergy {
+
+class CheckpointableProcess {
+ public:
+  virtual ~CheckpointableProcess() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual bool alive() const = 0;
+  virtual TimePoint current_time() const = 0;
+
+  /// The contamination bit the TB layer consults when choosing stable
+  /// checkpoint contents.
+  virtual bool contamination_flag() const = 0;
+
+  /// The most recent volatile checkpoint (rollback target; guaranteed to
+  /// exist whenever contamination_flag() is set).
+  virtual const std::optional<CheckpointRecord>& latest_volatile() const = 0;
+
+  /// Build a checkpoint record of the current instant.
+  virtual CheckpointRecord make_record(CkptKind kind) const = 0;
+
+  // Blocking-period control.
+  virtual void begin_blocking() = 0;
+  virtual void end_blocking() = 0;
+  virtual bool in_blocking() const = 0;
+
+  /// Observer fired when the contamination flag transitions 1 -> 0 (the
+  /// adapted TB's abort-and-replace trigger).
+  virtual void set_contamination_cleared_observer(
+      std::function<void()> fn) = 0;
+};
+
+}  // namespace synergy

@@ -1,0 +1,80 @@
+#include "mdcd/recovery.hpp"
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+SoftwareRecoveryManager::SoftwareRecoveryManager(
+    P1ActEngine& p1act, P1SdwEngine& p1sdw, P2Engine& p2,
+    std::function<TimePoint()> now, TraceLog* trace)
+    : p1act_(p1act), p1sdw_(p1sdw), p2_(p2), now_(std::move(now)),
+      trace_(trace) {
+  SYNERGY_EXPECTS(now_ != nullptr);
+}
+
+SwRecoveryStats SoftwareRecoveryManager::recover(ProcessId detector,
+                                                 std::uint32_t new_epoch) {
+  SYNERGY_EXPECTS(!recovered_);
+  SwRecoveryStats stats;
+  stats.detector = detector;
+  const TimePoint t = now_();
+  if (trace_) {
+    trace_->record(t, detector, TraceKind::kSwErrorDetected);
+  }
+
+  // 1. The active low-confidence process is terminated.
+  p1act_.kill();
+
+  // 2. Local rollback / roll-forward decisions, based solely on each
+  //    process's own dirty bit (no message exchange).
+  struct Survivor {
+    MdcdEngine* engine;
+    bool* rolled_back;
+    Duration* distance;
+  };
+  const Survivor survivors[] = {
+      {&p1sdw_, &stats.p1sdw_rolled_back, &stats.p1sdw_rollback_distance},
+      {&p2_, &stats.p2_rolled_back, &stats.p2_rollback_distance},
+  };
+  for (const auto& s : survivors) {
+    if (s.engine->dirty()) {
+      // A dirty process always has a volatile checkpoint: Type-1 was
+      // established immediately before it became dirty.
+      const auto& record = s.engine->latest_volatile();
+      SYNERGY_ASSERT(record.has_value());
+      s.engine->restore_from_record(*record);
+      *s.rolled_back = true;
+      *s.distance = t - record->state_time;
+      if (trace_) {
+        trace_->record(t, s.engine->self(), TraceKind::kRollback,
+                       to_string(record->kind));
+      }
+    } else {
+      *s.rolled_back = false;
+      if (trace_) {
+        trace_->record(t, s.engine->self(), TraceKind::kRollForward);
+      }
+    }
+  }
+
+  // 3. Guarded operation ends; MDCD goes on leave (dirty bits stay 0).
+  MdcdEngine* const all[] = {&p1act_, &p1sdw_, &p2_};
+  for (MdcdEngine* engine : all) {
+    engine->set_guarded(false);
+    engine->set_epoch(new_epoch);
+    // Fence the sends that contaminated processes just undid: every one of
+    // them was dirty-flagged on the wire.
+    engine->fence_dirty_below(new_epoch);
+  }
+
+  // 4. Takeover + replay (with the new epoch, so replays are not fenced).
+  stats.replayed_messages = p1sdw_.takeover();
+
+  if (trace_) {
+    trace_->record(now_(), p1sdw_.self(), TraceKind::kSwRecoveryDone);
+  }
+  recovered_ = true;
+  return stats;
+}
+
+}  // namespace synergy

@@ -1,0 +1,58 @@
+// Software error recovery (MDCD).
+//
+// On an acceptance-test failure, P1sdw takes over P1act's active role and
+// every surviving process makes a *local* decision: roll back to its most
+// recent volatile checkpoint if its dirty bit is set, roll forward
+// otherwise. The paper's theorems (proved in [5]) guarantee the resulting
+// global state satisfies validity-concerned consistency and
+// recoverability; our property tests check exactly that via the analysis
+// module. After rollback/roll-forward, P1sdw replays its suppressed
+// message log beyond VR.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hpp"
+#include "mdcd/p1act.hpp"
+#include "mdcd/p1sdw.hpp"
+#include "mdcd/p2.hpp"
+
+namespace synergy {
+
+struct SwRecoveryStats {
+  ProcessId detector;
+  bool p1sdw_rolled_back = false;
+  bool p2_rolled_back = false;
+  /// Computation undone by each rollback (zero if rolled forward).
+  Duration p1sdw_rollback_distance = Duration::zero();
+  Duration p2_rollback_distance = Duration::zero();
+  std::size_t replayed_messages = 0;
+};
+
+class SoftwareRecoveryManager {
+ public:
+  SoftwareRecoveryManager(P1ActEngine& p1act, P1SdwEngine& p1sdw,
+                          P2Engine& p2, std::function<TimePoint()> now,
+                          TraceLog* trace);
+
+  /// Execute the full recovery: terminate P1act, apply local
+  /// rollback/roll-forward decisions, bump the recovery epoch, take over,
+  /// and replay. `new_epoch` must be strictly greater than every engine's
+  /// current epoch.
+  SwRecoveryStats recover(ProcessId detector, std::uint32_t new_epoch);
+
+  bool recovered() const { return recovered_; }
+
+ private:
+  Duration apply_local_decision(MdcdEngine& engine, bool& rolled_back);
+
+  P1ActEngine& p1act_;
+  P1SdwEngine& p1sdw_;
+  P2Engine& p2_;
+  std::function<TimePoint()> now_;
+  TraceLog* trace_;
+  bool recovered_ = false;
+};
+
+}  // namespace synergy

@@ -1,0 +1,46 @@
+// Host services handed to a protocol engine.
+//
+// Engines are host-agnostic state machines: they reach the world only
+// through this bundle. The discrete-event host wires these to the
+// simulator, the threaded runtime wires them to real clocks and channels.
+#pragma once
+
+#include <functional>
+
+#include "app/acceptance_test.hpp"
+#include "app/fault.hpp"
+#include "app/state.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/reliable.hpp"
+#include "storage/volatile_store.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+struct ProcessServices {
+  ProcessId self;
+
+  /// Current true time (for trace stamps and checkpoint metadata).
+  std::function<TimePoint()> now;
+
+  Transport* transport = nullptr;
+  VolatileStore* vstore = nullptr;
+  ApplicationState* app = nullptr;
+
+  /// Acceptance test; required for processes that send external messages
+  /// (P1act, P2, and P1sdw after takeover).
+  AcceptanceTest* at = nullptr;
+
+  /// Design-fault model of the low-confidence version; only P1act has one.
+  SoftwareFaultModel* sw_fault = nullptr;
+
+  /// Optional trace sink.
+  TraceLog* trace = nullptr;
+
+  /// Invoked when an AT failure demands software error recovery; the
+  /// argument is the detecting process.
+  std::function<void(ProcessId)> request_sw_recovery;
+};
+
+}  // namespace synergy

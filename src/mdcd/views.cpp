@@ -1,0 +1,55 @@
+#include "mdcd/views.hpp"
+
+namespace synergy {
+
+std::size_t ViewLog::validate_all() {
+  std::size_t changed = 0;
+  for (auto& v : views_) {
+    if (v.suspect) {
+      v.suspect = false;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::size_t ViewLog::validate_covered(MsgSeq watermark) {
+  std::size_t changed = 0;
+  for (auto& v : views_) {
+    if (v.suspect && v.contam_sn <= watermark) {
+      v.suspect = false;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void ViewLog::serialize(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(views_.size()));
+  for (const auto& v : views_) {
+    w.u32(v.peer.value());
+    w.u64(v.transport_seq);
+    w.u64(v.sn);
+    w.u8(static_cast<std::uint8_t>(v.kind));
+    w.u8(v.suspect ? 1 : 0);
+    w.u64(v.contam_sn);
+  }
+}
+
+ViewLog ViewLog::deserialize(ByteReader& r) {
+  ViewLog log;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MsgView v;
+    v.peer = ProcessId{r.u32()};
+    v.transport_seq = r.u64();
+    v.sn = r.u64();
+    v.kind = static_cast<MsgKind>(r.u8());
+    v.suspect = r.u8() != 0;
+    v.contam_sn = r.u64();
+    log.add(v);
+  }
+  return log;
+}
+
+}  // namespace synergy

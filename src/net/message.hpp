@@ -1,0 +1,90 @@
+// The wire message type shared by every protocol in the library.
+//
+// One flat struct (rather than a class hierarchy) because checkpoints must
+// serialize logged messages, the trace layer must render any message, and
+// the protocols piggyback fields across kinds (dirty bit, Ndc, msg_SN).
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialize.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace synergy {
+
+/// Pseudo process id representing the external world (devices). External
+/// messages are addressed here; the device model records and never replies.
+inline constexpr ProcessId kDeviceId{0xFFFF};
+
+enum class MsgKind : std::uint8_t {
+  kInternal,  ///< Application message between processes (paper: internal).
+  kExternal,  ///< Command/data to the external world (paper: external).
+  kPassedAt,  ///< "passed AT" notification broadcast.
+  kAck,       ///< Transport-level acknowledgment (TB protocol).
+};
+
+const char* to_string(MsgKind kind);
+
+struct Message {
+  MsgKind kind = MsgKind::kInternal;
+  ProcessId sender;
+  ProcessId receiver;
+
+  /// Transport-level sequence, unique and monotone per sender; used for
+  /// acknowledgment matching and duplicate suppression on re-send.
+  std::uint64_t transport_seq = 0;
+
+  /// Application/protocol sequence number of the sender (paper: msg_SN).
+  MsgSeq sn = 0;
+
+  /// Piggybacked stable-checkpoint sequence number (paper: Ndc). Carried on
+  /// internal and passed-AT messages under the coordinated protocols.
+  StableSeq ndc = 0;
+
+  /// Piggybacked sender dirty bit (paper: append(m, dirty_bit)).
+  bool dirty = false;
+
+  /// Contamination watermark: the highest component-1 message SN the
+  /// sender's *current contamination* depends on (P1act: its own msg_SN;
+  /// P2: msg_SN_P1act at send time). A receiver that already knows this
+  /// watermark to be validated can recognize the dirty bit as stale —
+  /// see MdcdConfig::ContaminationTracking. 0 when sent clean.
+  MsgSeq contam_sn = 0;
+
+  /// Application payload: an input word for the receiving state machine.
+  std::uint64_t payload = 0;
+
+  /// Whether the payload is erroneous (fault-injection ground truth; the
+  /// protocols never read this — only acceptance tests and oracles do).
+  bool tainted = false;
+
+  /// For kAck: the transport_seq being acknowledged.
+  std::uint64_t ack_of = 0;
+
+  /// Recovery incarnation of the sender at send time. After a recovery,
+  /// messages from an older epoch are fenced at consumption: a hardware
+  /// rollback drops all of them (their sends may have been undone), a
+  /// software recovery drops only dirty-flagged ones (exactly the sends a
+  /// contaminated process rolled back). Re-sent unacked messages are
+  /// re-stamped with the new epoch.
+  std::uint32_t epoch = 0;
+
+  /// Protocol-extension payload (e.g. the generalized protocol's
+  /// per-source contamination vector). Empty for the canonical protocols.
+  Bytes aux;
+
+  /// True (simulator) time at which the message was handed to the network.
+  TimePoint sent_at;
+
+  void serialize(ByteWriter& w) const;
+  static Message deserialize(ByteReader& r);
+};
+
+/// Messages that carry application-visible content, as opposed to
+/// transport acks. Blocking periods and message logs apply to these.
+inline bool is_application_purpose(const Message& m) {
+  return m.kind == MsgKind::kInternal || m.kind == MsgKind::kExternal;
+}
+
+}  // namespace synergy

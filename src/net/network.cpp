@@ -1,0 +1,123 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kInternal: return "internal";
+    case MsgKind::kExternal: return "external";
+    case MsgKind::kPassedAt: return "passed_AT";
+    case MsgKind::kAck: return "ack";
+  }
+  return "?";
+}
+
+void Message::serialize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(sender.value());
+  w.u32(receiver.value());
+  w.u64(transport_seq);
+  w.u64(sn);
+  w.u64(ndc);
+  w.u8(dirty ? 1 : 0);
+  w.u64(contam_sn);
+  w.u64(payload);
+  w.u8(tainted ? 1 : 0);
+  w.u64(ack_of);
+  w.u32(epoch);
+  w.bytes(aux);
+  w.i64(sent_at.count());
+}
+
+Message Message::deserialize(ByteReader& r) {
+  Message m;
+  m.kind = static_cast<MsgKind>(r.u8());
+  m.sender = ProcessId{r.u32()};
+  m.receiver = ProcessId{r.u32()};
+  m.transport_seq = r.u64();
+  m.sn = r.u64();
+  m.ndc = r.u64();
+  m.dirty = r.u8() != 0;
+  m.contam_sn = r.u64();
+  m.payload = r.u64();
+  m.tainted = r.u8() != 0;
+  m.ack_of = r.u64();
+  m.epoch = r.u32();
+  m.aux = r.bytes();
+  m.sent_at = TimePoint{r.i64()};
+  return m;
+}
+
+Network::Network(Simulator& sim, const NetworkParams& params, Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {
+  SYNERGY_EXPECTS(params.tmin >= Duration::zero());
+  SYNERGY_EXPECTS(params.tmax >= params.tmin);
+  SYNERGY_EXPECTS(params.loss_probability >= 0.0 &&
+                  params.loss_probability <= 1.0);
+}
+
+void Network::attach(ProcessId p, Handler handler) {
+  SYNERGY_EXPECTS(handler != nullptr);
+  handlers_[p] = std::move(handler);
+}
+
+void Network::detach(ProcessId p) {
+  handlers_.erase(p);
+  drop_in_transit_to(p);
+}
+
+void Network::send(Message m) {
+  m.sent_at = sim_.now();
+  ++sent_;
+  if (params_.loss_probability > 0.0 &&
+      rng_.bernoulli(params_.loss_probability)) {
+    ++dropped_;
+    return;
+  }
+  TimePoint deliver_at = sim_.now() + rng_.uniform(params_.tmin, params_.tmax);
+  if (params_.fifo) {
+    auto key = std::make_pair(m.sender.value(), m.receiver.value());
+    auto it = last_delivery_.find(key);
+    if (it != last_delivery_.end()) deliver_at = std::max(deliver_at, it->second);
+    last_delivery_[key] = deliver_at;
+  }
+  const std::uint64_t id = next_delivery_id_++;
+  EventHandle h = sim_.schedule_at(deliver_at, [this, id] { deliver(id); });
+  pending_.emplace(id, PendingDelivery{std::move(m), h});
+  ++in_transit_;
+}
+
+void Network::deliver(std::uint64_t delivery_id) {
+  auto it = pending_.find(delivery_id);
+  SYNERGY_ASSERT(it != pending_.end());
+  Message m = std::move(it->second.msg);
+  pending_.erase(it);
+  --in_transit_;
+  auto h = handlers_.find(m.receiver);
+  if (h == handlers_.end()) {
+    ++dropped_;  // receiver crashed or is a sink with no recorder
+    return;
+  }
+  ++delivered_;
+  h->second(m);
+}
+
+void Network::drop_in_transit_to(ProcessId p) {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, pd] : pending_) {
+    if (pd.msg.receiver == p) doomed.push_back(id);
+  }
+  for (auto id : doomed) {
+    sim_.cancel(pending_.at(id).handle);
+    pending_.erase(id);
+    --in_transit_;
+    ++dropped_;
+  }
+}
+
+}  // namespace synergy

@@ -1,0 +1,82 @@
+// Bounded-delay message-passing network over the discrete-event simulator.
+//
+// Delivery delay for each message is drawn uniformly from [tmin, tmax] —
+// the two bounds the TB protocol's blocking periods are computed from.
+// Channels are FIFO per (sender, receiver) pair by default (delivery times
+// are made monotone per pair), matching the paper's system model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace synergy {
+
+struct NetworkParams {
+  Duration tmin = Duration::millis(1);   ///< Minimum delivery delay.
+  Duration tmax = Duration::millis(10);  ///< Maximum delivery delay.
+  bool fifo = true;                      ///< Per-pair FIFO ordering.
+  double loss_probability = 0.0;         ///< Silent drop probability.
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(Simulator& sim, const NetworkParams& params, Rng rng);
+
+  /// Register the delivery handler for a process. Re-attaching replaces the
+  /// previous handler (used when a node restarts after a crash).
+  void attach(ProcessId p, Handler handler);
+
+  /// Detach a process: pending and future deliveries to it are dropped
+  /// until it re-attaches. Models a node crash.
+  void detach(ProcessId p);
+
+  /// Hand a message to the network. Stamps sent_at; schedules delivery.
+  /// Messages to kDeviceId are delivered to the device handler if attached,
+  /// else counted and dropped (devices are sinks).
+  void send(Message m);
+
+  /// Drop every message currently in transit toward `p` (crash semantics:
+  /// a rebooted node must not receive pre-crash messages it never acked).
+  void drop_in_transit_to(ProcessId p);
+
+  const NetworkParams& params() const { return params_; }
+
+  // Counters for experiment reporting.
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t in_transit() const { return in_transit_; }
+
+ private:
+  void deliver(std::uint64_t delivery_id);
+
+  Simulator& sim_;
+  NetworkParams params_;
+  Rng rng_;
+  std::unordered_map<ProcessId, Handler> handlers_;
+  // Last scheduled delivery time per ordered pair, for FIFO enforcement.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TimePoint> last_delivery_;
+  struct PendingDelivery {
+    Message msg;
+    EventHandle handle;
+  };
+  std::unordered_map<std::uint64_t, PendingDelivery> pending_;
+  std::uint64_t next_delivery_id_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t in_transit_ = 0;
+};
+
+}  // namespace synergy

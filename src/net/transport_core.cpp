@@ -1,0 +1,93 @@
+#include "net/transport_core.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+Message TransportCore::prepare_send(Message m) {
+  m.sender = self_;
+  m.transport_seq = next_transport_seq_++;
+  // Acks are not themselves acknowledged (no ack-of-ack regress); device
+  // messages are fire-and-forget because the external world never replies.
+  if (m.kind != MsgKind::kAck && m.receiver != kDeviceId) {
+    unacked_.emplace(m.transport_seq, m);
+  }
+  return m;
+}
+
+Message TransportCore::make_ack(const Message& m) {
+  Message ack;
+  ack.kind = MsgKind::kAck;
+  ack.receiver = m.sender;
+  ack.ack_of = m.transport_seq;
+  return ack;
+}
+
+bool TransportCore::already_consumed(const Message& m) const {
+  SYNERGY_EXPECTS(m.kind != MsgKind::kAck);
+  auto it = consumed_.find(m.sender);
+  if (it == consumed_.end()) return false;
+  const bool dup = it->second.contains(m.transport_seq);
+  if (dup) ++dups_;
+  return dup;
+}
+
+void TransportCore::mark_consumed(const Message& m) {
+  SYNERGY_EXPECTS(m.kind != MsgKind::kAck);
+  consumed_[m.sender].insert(m.transport_seq);
+}
+
+std::vector<Message> TransportCore::unacked() const {
+  std::vector<Message> out;
+  out.reserve(unacked_.size());
+  for (const auto& [seq, m] : unacked_) out.push_back(m);
+  return out;
+}
+
+void TransportCore::restore_unacked(std::vector<Message> msgs) {
+  unacked_.clear();
+  for (auto& m : msgs) {
+    SYNERGY_EXPECTS(m.sender == self_);
+    next_transport_seq_ = std::max(next_transport_seq_, m.transport_seq + 1);
+    unacked_.emplace(m.transport_seq, std::move(m));
+  }
+}
+
+std::vector<Message> TransportCore::prepare_resend(std::uint32_t epoch) {
+  std::vector<Message> out;
+  out.reserve(unacked_.size());
+  for (auto& [seq, m] : unacked_) {
+    m.epoch = epoch;  // new incarnation: receivers must not fence these
+    out.push_back(m);
+  }
+  return out;
+}
+
+Bytes TransportCore::snapshot_state() const {
+  ByteWriter w;
+  w.u64(next_transport_seq_);
+  w.u32(static_cast<std::uint32_t>(consumed_.size()));
+  for (const auto& [peer, seqs] : consumed_) {
+    w.u32(peer.value());
+    w.u32(static_cast<std::uint32_t>(seqs.size()));
+    for (auto s : seqs) w.u64(s);
+  }
+  return w.take();
+}
+
+void TransportCore::restore_state(const Bytes& state) {
+  ByteReader r(state);
+  next_transport_seq_ = std::max(next_transport_seq_, r.u64());
+  consumed_.clear();
+  const std::uint32_t peers = r.u32();
+  for (std::uint32_t i = 0; i < peers; ++i) {
+    const ProcessId peer{r.u32()};
+    const std::uint32_t n = r.u32();
+    auto& seqs = consumed_[peer];
+    for (std::uint32_t j = 0; j < n; ++j) seqs.insert(r.u64());
+  }
+}
+
+}  // namespace synergy

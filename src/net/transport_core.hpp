@@ -1,0 +1,64 @@
+// Host-agnostic reliable-transport bookkeeping.
+//
+// Both transport hosts — the simulator's ReliableEndpoint and the threaded
+// runtime's ThreadTransport — share this state machine: transport sequence
+// stamping, the unacked-send log the TB protocols checkpoint, ack
+// matching, duplicate suppression, and checkpointable snapshots. The host
+// supplies only the wire (how a stamped message physically leaves).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace synergy {
+
+class TransportCore {
+ public:
+  explicit TransportCore(ProcessId self) : self_(self) {}
+
+  ProcessId self() const { return self_; }
+
+  /// Stamp sender + a fresh transport_seq on `m` and record it in the
+  /// unacked log when it expects an acknowledgment (non-ack, non-device).
+  /// The caller puts the returned message on the wire.
+  Message prepare_send(Message m);
+
+  /// An acknowledgment arrived: settle the matching unacked entry.
+  void on_ack(std::uint64_t ack_of) { unacked_.erase(ack_of); }
+
+  /// Build the acknowledgment for a received message (empty optionality is
+  /// signalled by kDeviceId senders — the caller skips those).
+  static Message make_ack(const Message& m);
+
+  bool already_consumed(const Message& m) const;
+  void mark_consumed(const Message& m);
+
+  std::vector<Message> unacked() const;
+  void restore_unacked(std::vector<Message> msgs);
+
+  /// Re-stamp every unacked message with `epoch` and hand copies back for
+  /// the host to put on the wire.
+  std::vector<Message> prepare_resend(std::uint32_t epoch);
+
+  Bytes snapshot_state() const;
+  void restore_state(const Bytes& state);
+
+  std::size_t unacked_count() const { return unacked_.size(); }
+  std::uint64_t duplicates_suppressed() const { return dups_; }
+
+ private:
+  ProcessId self_;
+  std::uint64_t next_transport_seq_ = 1;
+  // Ordered containers keep snapshots and checkpoints deterministic.
+  std::map<std::uint64_t, Message> unacked_;
+  std::map<ProcessId, std::set<std::uint64_t>> consumed_;
+  mutable std::uint64_t dups_ = 0;
+};
+
+}  // namespace synergy

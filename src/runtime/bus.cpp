@@ -1,0 +1,99 @@
+#include "runtime/bus.hpp"
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+void ThreadBus::register_process(ProcessId p) {
+  std::lock_guard lock(registry_mu_);
+  boxes_.emplace(p, std::make_unique<Mailbox>());
+}
+
+ThreadBus::Mailbox& ThreadBus::box(ProcessId p) {
+  std::lock_guard lock(registry_mu_);
+  auto it = boxes_.find(p);
+  SYNERGY_EXPECTS(it != boxes_.end());
+  return *it->second;
+}
+
+void ThreadBus::post(Message m) {
+  if (m.receiver == kDeviceId) {
+    std::lock_guard lock(device_mu_);
+    device_.push_back(std::move(m));
+    return;
+  }
+  {
+    std::lock_guard lock(registry_mu_);
+    auto it = boxes_.find(m.receiver);
+    if (it == boxes_.end()) {
+      std::lock_guard dev_lock(device_mu_);
+      ++dropped_;
+      return;
+    }
+  }
+  Mailbox& mb = box(m.receiver);
+  {
+    std::lock_guard lock(mb.mu);
+    MailboxItem item;
+    item.kind = MailboxItem::Kind::kMessage;
+    item.message = std::move(m);
+    mb.q.push_back(std::move(item));
+  }
+  mb.cv.notify_one();
+}
+
+void ThreadBus::post_command(ProcessId p, bool external,
+                             std::uint64_t input) {
+  Mailbox& mb = box(p);
+  {
+    std::lock_guard lock(mb.mu);
+    MailboxItem item;
+    item.kind = MailboxItem::Kind::kCommand;
+    item.external = external;
+    item.input = input;
+    mb.q.push_back(std::move(item));
+  }
+  mb.cv.notify_one();
+}
+
+void ThreadBus::post_corrupt(ProcessId p, std::uint64_t noise) {
+  Mailbox& mb = box(p);
+  {
+    std::lock_guard lock(mb.mu);
+    MailboxItem item;
+    item.kind = MailboxItem::Kind::kCorrupt;
+    item.input = noise;
+    mb.q.push_back(std::move(item));
+  }
+  mb.cv.notify_one();
+}
+
+std::optional<MailboxItem> ThreadBus::poll(ProcessId p,
+                                           std::chrono::milliseconds wait) {
+  Mailbox& mb = box(p);
+  std::unique_lock lock(mb.mu);
+  if (!mb.cv.wait_for(lock, wait, [&] { return !mb.q.empty(); })) {
+    return std::nullopt;
+  }
+  MailboxItem item = std::move(mb.q.front());
+  mb.q.pop_front();
+  return item;
+}
+
+std::vector<Message> ThreadBus::device_log() const {
+  std::lock_guard lock(device_mu_);
+  return device_;
+}
+
+std::size_t ThreadBus::dropped() const {
+  std::lock_guard lock(device_mu_);
+  return dropped_;
+}
+
+std::size_t ThreadBus::pending(ProcessId p) {
+  Mailbox& mb = box(p);
+  std::lock_guard lock(mb.mu);
+  return mb.q.size();
+}
+
+}  // namespace synergy

@@ -1,0 +1,73 @@
+// In-process message bus for the threaded middleware.
+//
+// One mailbox per process, fed from any thread, drained by the owning
+// process thread. Delivery is FIFO per mailbox (and therefore per sender
+// pair). Messages to kDeviceId accumulate in the device log.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace synergy {
+
+/// An item in a process mailbox: either a wire message or an application
+/// command (the workload driver asking the engine to produce a send).
+struct MailboxItem {
+  enum class Kind { kMessage, kCommand, kCorrupt };
+  Kind kind = Kind::kMessage;
+  Message message;          // kMessage
+  bool external = false;    // kCommand
+  std::uint64_t input = 0;  // kCommand / kCorrupt noise
+};
+
+class ThreadBus {
+ public:
+  /// Register a mailbox. Must happen before any thread posts to it.
+  void register_process(ProcessId p);
+
+  /// Deliver `m` to its receiver's mailbox (or the device log).
+  /// Unregistered receivers are counted as drops.
+  void post(Message m);
+
+  /// Enqueue an application command for `p`.
+  void post_command(ProcessId p, bool external, std::uint64_t input);
+
+  /// Enqueue a fault-injection corruption for `p`.
+  void post_corrupt(ProcessId p, std::uint64_t noise);
+
+  /// Blocking pop with timeout; empty optional on timeout.
+  std::optional<MailboxItem> poll(ProcessId p,
+                                  std::chrono::milliseconds wait);
+
+  std::vector<Message> device_log() const;
+  std::size_t dropped() const;
+
+  /// Number of queued items in `p`'s mailbox (idle detection).
+  std::size_t pending(ProcessId p);
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<MailboxItem> q;
+  };
+
+  Mailbox& box(ProcessId p);
+
+  mutable std::mutex registry_mu_;
+  std::map<ProcessId, std::unique_ptr<Mailbox>> boxes_;
+  mutable std::mutex device_mu_;
+  std::vector<Message> device_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace synergy

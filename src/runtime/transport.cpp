@@ -1,0 +1,3 @@
+// ThreadTransport is header-only; this translation unit anchors the
+// library target.
+#include "runtime/transport.hpp"

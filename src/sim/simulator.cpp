@@ -1,0 +1,63 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+EventHandle Simulator::schedule_at(TimePoint t, Callback fn) {
+  SYNERGY_EXPECTS(t >= now_);
+  SYNERGY_EXPECTS(fn != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_after(Duration d, Callback fn) {
+  SYNERGY_EXPECTS(d >= Duration::zero());
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (h.id_ == 0) return false;
+  return callbacks_.erase(h.id_) > 0;  // heap entry becomes a tombstone
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    SYNERGY_ASSERT(e.time >= now_);
+    now_ = e.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    // Skip tombstones without advancing time.
+    if (callbacks_.find(queue_.top().id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace synergy

@@ -1,0 +1,85 @@
+// Deterministic discrete-event simulator.
+//
+// The simulator owns the global (true) timeline. Everything in the modelled
+// distributed system — message deliveries, local timer expirations, disk
+// write completions, fault injections — is an event scheduled here.
+// Execution is single-threaded and fully deterministic: events at equal
+// times fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace synergy {
+
+/// Opaque handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;  // 0 = invalid
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated (true) time.
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must not be in the past).
+  EventHandle schedule_at(TimePoint t, Callback fn);
+
+  /// Schedule `fn` after `d` elapses (d >= 0).
+  EventHandle schedule_after(Duration d, Callback fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid handle
+  /// is a no-op and returns false.
+  bool cancel(EventHandle h);
+
+  /// Fire the next pending event, if any. Returns false when idle.
+  bool step();
+
+  /// Run until the event queue drains or `deadline` is reached, whichever
+  /// comes first. Time advances to the deadline if events remain beyond it.
+  void run_until(TimePoint deadline);
+
+  /// Run until the event queue drains completely.
+  void run();
+
+  /// Number of events executed so far (for sanity checks in tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;  // FIFO tiebreak at equal times
+    std::uint64_t id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace synergy

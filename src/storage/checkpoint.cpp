@@ -1,0 +1,54 @@
+#include "storage/checkpoint.hpp"
+
+namespace synergy {
+
+const char* to_string(CkptKind kind) {
+  switch (kind) {
+    case CkptKind::kType1: return "type1";
+    case CkptKind::kType2: return "type2";
+    case CkptKind::kPseudo: return "pseudo";
+    case CkptKind::kStable: return "stable";
+  }
+  return "?";
+}
+
+void CheckpointRecord::serialize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(owner.value());
+  w.i64(established_at.count());
+  w.i64(state_time.count());
+  w.u8(dirty_bit ? 1 : 0);
+  w.u64(ndc);
+  w.bytes(app_state);
+  w.bytes(protocol_state);
+  w.bytes(transport_state);
+  w.u32(static_cast<std::uint32_t>(unacked.size()));
+  for (const auto& m : unacked) m.serialize(w);
+}
+
+CheckpointRecord CheckpointRecord::deserialize(ByteReader& r) {
+  CheckpointRecord c;
+  c.kind = static_cast<CkptKind>(r.u8());
+  c.owner = ProcessId{r.u32()};
+  c.established_at = TimePoint{r.i64()};
+  c.state_time = TimePoint{r.i64()};
+  c.dirty_bit = r.u8() != 0;
+  c.ndc = r.u64();
+  c.app_state = r.bytes();
+  c.protocol_state = r.bytes();
+  c.transport_state = r.bytes();
+  const std::uint32_t n = r.u32();
+  c.unacked.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    c.unacked.push_back(Message::deserialize(r));
+  }
+  return c;
+}
+
+std::size_t CheckpointRecord::encoded_size() const {
+  ByteWriter w;
+  serialize(w);
+  return w.data().size();
+}
+
+}  // namespace synergy

@@ -1,0 +1,74 @@
+// Checkpoint records.
+//
+// The paper distinguishes checkpoints by *trigger*:
+//   Type-1  — taken immediately before a process state becomes potentially
+//             contaminated (volatile storage, MDCD);
+//   Type-2  — taken right after a potentially contaminated state is
+//             validated by an acceptance test (volatile storage, original
+//             MDCD; eliminated by the modified protocol);
+//   Pseudo  — P1act's checkpoint under the modified protocol, driven by
+//             pseudo_dirty_bit (volatile storage);
+//   Stable  — written to stable storage by a TB protocol on timer expiry
+//             (or, under the write-through baseline, on passed-AT).
+//
+// A record carries everything needed to resume the owning process: the
+// serialized application state, the serialized protocol-engine state
+// (dirty bits, SN counters, message logs, VR), and — for stable
+// checkpoints — the unacked-send log used for re-send on recovery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace synergy {
+
+enum class CkptKind : std::uint8_t { kType1, kType2, kPseudo, kStable };
+
+const char* to_string(CkptKind kind);
+
+struct CheckpointRecord {
+  CkptKind kind = CkptKind::kType1;
+  ProcessId owner;
+
+  /// True time at which the record was established (bookkeeping).
+  TimePoint established_at;
+
+  /// True time at which the *contained state* was current. For a stable
+  /// checkpoint that copies an older volatile checkpoint, this is the
+  /// volatile checkpoint's state_time — the basis of rollback-distance
+  /// measurement: distance = fault_time - restored.state_time.
+  TimePoint state_time;
+
+  /// Dirty bit captured with the state (a restored process resumes with
+  /// the contamination knowledge it had at the checkpointed instant).
+  bool dirty_bit = false;
+
+  /// Stable-checkpoint sequence number (Ndc) at establishment.
+  StableSeq ndc = 0;
+
+  Bytes app_state;
+  Bytes protocol_state;
+
+  /// Transport bookkeeping captured at the same instant as the state:
+  /// duplicate-suppression sets and the send-sequence counter. A restored
+  /// process must suppress exactly the messages its restored state already
+  /// reflects, and must not reuse live sequence numbers.
+  Bytes transport_state;
+
+  /// Unacknowledged application-purpose messages to re-send on hardware
+  /// recovery (stable checkpoints only; empty for volatile records).
+  std::vector<Message> unacked;
+
+  void serialize(ByteWriter& w) const;
+  static CheckpointRecord deserialize(ByteReader& r);
+
+  /// Encoded size in bytes (what a stable write actually persists).
+  std::size_t encoded_size() const;
+};
+
+}  // namespace synergy

@@ -1,0 +1,87 @@
+#include "storage/file_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+namespace fs = std::filesystem;
+
+FileStableStore::FileStableStore(fs::path directory, ProcessId owner)
+    : dir_(std::move(directory)), owner_(owner) {
+  fs::create_directories(dir_);
+}
+
+fs::path FileStableStore::path_for(StableSeq ndc) const {
+  return dir_ / ("ckpt-" + std::to_string(owner_.value()) + "-" +
+                 std::to_string(ndc) + ".bin");
+}
+
+void FileStableStore::commit(const CheckpointRecord& record) {
+  ByteWriter w;
+  record.serialize(w);
+  const fs::path target = path_for(record.ndc);
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    SYNERGY_ASSERT(out.good());
+    out.write(reinterpret_cast<const char*>(w.data().data()),
+              static_cast<std::streamsize>(w.data().size()));
+    out.flush();
+    SYNERGY_ASSERT(out.good());
+  }
+  fs::rename(tmp, target);  // atomic commit
+
+  // Prune beyond the retention depth.
+  auto indices = retained();
+  while (indices.size() > kHistoryDepth) {
+    fs::remove(path_for(indices.front()));
+    indices.erase(indices.begin());
+  }
+}
+
+std::vector<StableSeq> FileStableStore::retained() const {
+  std::vector<StableSeq> out;
+  const std::string prefix = "ckpt-" + std::to_string(owner_.value()) + "-";
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0 || entry.path().extension() != ".bin") {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - 4);
+    out.push_back(static_cast<StableSeq>(std::stoull(digits)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<CheckpointRecord> FileStableStore::committed_for(
+    StableSeq ndc) const {
+  const fs::path p = path_for(ndc);
+  std::ifstream in(p, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  ByteReader r(data);
+  return CheckpointRecord::deserialize(r);
+}
+
+StableSeq FileStableStore::latest_ndc() const {
+  const auto indices = retained();
+  return indices.empty() ? 0 : indices.back();
+}
+
+std::optional<CheckpointRecord> FileStableStore::latest_committed() const {
+  const auto indices = retained();
+  if (indices.empty()) return std::nullopt;
+  return committed_for(indices.back());
+}
+
+void FileStableStore::wipe() {
+  for (StableSeq ndc : retained()) fs::remove(path_for(ndc));
+}
+
+}  // namespace synergy

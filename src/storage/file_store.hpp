@@ -1,0 +1,54 @@
+// File-backed stable storage for the threaded runtime and the CLI.
+//
+// Persists committed checkpoint records as files in a directory, one file
+// per retained index, written via temp-file + atomic rename (the classic
+// crash-consistent commit). Shares the simulated StableStore's retention
+// semantics (a short per-index history for common-index recovery lines)
+// but performs real I/O — a restarted *process* (not just a simulated
+// node) can recover its state from disk.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "storage/checkpoint.hpp"
+
+namespace synergy {
+
+class FileStableStore {
+ public:
+  /// Uses (and creates) `directory` for this process's checkpoints.
+  FileStableStore(std::filesystem::path directory, ProcessId owner);
+
+  /// Synchronously persist `record` (temp file + rename). Replaces any
+  /// prior record with the same Ndc; prunes beyond the retention depth.
+  void commit(const CheckpointRecord& record);
+
+  /// Latest committed record on disk, if any (highest Ndc).
+  std::optional<CheckpointRecord> latest_committed() const;
+
+  StableSeq latest_ndc() const;
+
+  /// Record with the given Ndc, if retained.
+  std::optional<CheckpointRecord> committed_for(StableSeq ndc) const;
+
+  /// Indices currently on disk, ascending.
+  std::vector<StableSeq> retained() const;
+
+  /// Remove every checkpoint file (tests / fresh deployments).
+  void wipe();
+
+  const std::filesystem::path& directory() const { return dir_; }
+
+ private:
+  static constexpr std::size_t kHistoryDepth = 8;
+
+  std::filesystem::path path_for(StableSeq ndc) const;
+
+  std::filesystem::path dir_;
+  ProcessId owner_;
+};
+
+}  // namespace synergy

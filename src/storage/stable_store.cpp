@@ -1,0 +1,102 @@
+#include "storage/stable_store.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+Duration StableStore::write_latency_for(const CheckpointRecord& record) const {
+  const auto kib =
+      static_cast<std::int64_t>((record.encoded_size() + 1023) / 1024);
+  return params_.write_base_latency + params_.write_per_kib * kib;
+}
+
+void StableStore::begin_write(CheckpointRecord record,
+                              CommitCallback on_commit) {
+  SYNERGY_EXPECTS(!in_progress_.has_value());
+  const Duration latency = write_latency_for(record);
+  in_progress_ = InProgress{std::move(record), std::move(on_commit), {}};
+  in_progress_->handle = sim_.schedule_after(latency, [this] { commit(); });
+}
+
+void StableStore::replace_in_progress(CheckpointRecord record) {
+  SYNERGY_EXPECTS(in_progress_.has_value());
+  sim_.cancel(in_progress_->handle);
+  ++aborts_;
+  const Duration latency = write_latency_for(record);
+  in_progress_->record = std::move(record);
+  in_progress_->handle = sim_.schedule_after(latency, [this] { commit(); });
+}
+
+void StableStore::retain(StableSeq ndc, Bytes encoded) {
+  // Same-index re-commit (post-recovery line refresh) replaces in place.
+  for (auto& c : history_) {
+    if (c.ndc == ndc) {
+      c.encoded = std::move(encoded);
+      return;
+    }
+  }
+  history_.push_back(Committed{ndc, std::move(encoded)});
+  if (history_.size() > kHistoryDepth) {
+    history_.erase(history_.begin());
+  }
+}
+
+void StableStore::commit() {
+  SYNERGY_ASSERT(in_progress_.has_value());
+  ByteWriter w;
+  in_progress_->record.serialize(w);
+  bytes_written_ += w.data().size();
+  const StableSeq ndc = in_progress_->record.ndc;
+  retain(ndc, w.take());
+  ++commits_;
+  CommitCallback cb = std::move(in_progress_->on_commit);
+  CheckpointRecord rec = std::move(in_progress_->record);
+  in_progress_.reset();
+  if (cb) cb(rec);
+}
+
+void StableStore::commit_now(CheckpointRecord record) {
+  crash_abort_in_progress();
+  ByteWriter w;
+  record.serialize(w);
+  bytes_written_ += w.data().size();
+  retain(record.ndc, w.take());
+  ++commits_;
+}
+
+std::optional<CheckpointRecord> StableStore::latest_committed() const {
+  if (history_.empty()) return std::nullopt;
+  ByteReader r(history_.back().encoded);
+  return CheckpointRecord::deserialize(r);
+}
+
+StableSeq StableStore::latest_ndc() const {
+  return history_.empty() ? 0 : history_.back().ndc;
+}
+
+std::optional<CheckpointRecord> StableStore::committed_for(
+    StableSeq ndc) const {
+  for (const auto& c : history_) {
+    if (c.ndc == ndc) {
+      ByteReader r(c.encoded);
+      return CheckpointRecord::deserialize(r);
+    }
+  }
+  return std::nullopt;
+}
+
+void StableStore::discard_above(StableSeq ndc) {
+  std::erase_if(history_,
+                [ndc](const Committed& c) { return c.ndc > ndc; });
+}
+
+void StableStore::crash_abort_in_progress() {
+  if (!in_progress_) return;
+  sim_.cancel(in_progress_->handle);
+  in_progress_.reset();
+  ++aborts_;
+}
+
+}  // namespace synergy

@@ -1,0 +1,112 @@
+// Simulated stable storage (disk) with abortable in-progress writes.
+//
+// The adapted TB protocol's write_disk(contents, match, alternative) needs
+// a disk on which an in-progress checkpoint write can be *aborted and its
+// contents replaced* while the blocking period is still running (paper
+// §4.2, Figure 6(b)). We model:
+//   - a write latency (base + per-byte), after which the record commits;
+//   - replace_in_progress(): restarts the in-progress write with new
+//     contents (the paper's abort-the-copy-and-save-current-state action);
+//   - crash semantics: an uncommitted write is lost, the last committed
+//     record survives.
+// Committed records persist encoded (byte blobs), so restore() exercises
+// real (de)serialization exactly like a disk would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "storage/checkpoint.hpp"
+
+namespace synergy {
+
+struct StableStoreParams {
+  Duration write_base_latency = Duration::millis(5);
+  /// Additional latency per KiB written (models transfer time).
+  Duration write_per_kib = Duration::micros(100);
+};
+
+class StableStore {
+ public:
+  using CommitCallback = std::function<void(const CheckpointRecord&)>;
+
+  StableStore(Simulator& sim, const StableStoreParams& params)
+      : sim_(sim), params_(params) {}
+
+  StableStore(const StableStore&) = delete;
+  StableStore& operator=(const StableStore&) = delete;
+
+  /// Begin writing `record`; it commits after the modelled latency, then
+  /// `on_commit` (if any) fires. Only one write may be in progress.
+  void begin_write(CheckpointRecord record, CommitCallback on_commit = {});
+
+  /// Abort the in-progress write and restart it with `record`. The write
+  /// latency restarts (the new contents must be fully written). Requires a
+  /// write in progress.
+  void replace_in_progress(CheckpointRecord record);
+
+  bool write_in_progress() const { return in_progress_.has_value(); }
+
+  /// Commit `record` immediately, aborting any in-progress write. Used at
+  /// deployment time (initial checkpoint before the mission starts) and by
+  /// recovery managers establishing a fresh recovery line; not part of the
+  /// modelled steady-state write path.
+  void commit_now(CheckpointRecord record);
+
+  /// The most recently committed checkpoint, decoded. Empty if none.
+  std::optional<CheckpointRecord> latest_committed() const;
+
+  /// Ndc of the most recently committed checkpoint (0 if none). Recovery
+  /// uses this to find the last *common* checkpoint index across nodes.
+  StableSeq latest_ndc() const;
+
+  /// The committed checkpoint with the given Ndc, if still retained. The
+  /// store keeps a short history (kHistoryDepth) precisely so that a
+  /// recovery can roll back to the last common index when a fault lands in
+  /// the timer-skew window and nodes' latest indices differ.
+  std::optional<CheckpointRecord> committed_for(StableSeq ndc) const;
+
+  /// Drop every retained record with index > `ndc`. Recovery calls this on
+  /// all survivors: records committed during the repair window belong to
+  /// the undone incarnation and must not shadow the restored line.
+  void discard_above(StableSeq ndc);
+
+  /// Node crash: the in-progress write (if any) is lost; committed data
+  /// survives.
+  void crash_abort_in_progress();
+
+  Duration write_latency_for(const CheckpointRecord& record) const;
+
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t aborts() const { return aborts_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  static constexpr std::size_t kHistoryDepth = 8;
+
+  void commit();
+  void retain(StableSeq ndc, Bytes encoded);
+
+  struct InProgress {
+    CheckpointRecord record;
+    CommitCallback on_commit;
+    EventHandle handle;
+  };
+  struct Committed {
+    StableSeq ndc;
+    Bytes encoded;
+  };
+
+  Simulator& sim_;
+  StableStoreParams params_;
+  std::optional<InProgress> in_progress_;
+  std::vector<Committed> history_;  // oldest first, capped at kHistoryDepth
+  std::uint64_t commits_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace synergy

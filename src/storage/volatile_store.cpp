@@ -1,0 +1,14 @@
+#include "storage/volatile_store.hpp"
+
+#include <utility>
+
+namespace synergy {
+
+void VolatileStore::save(CheckpointRecord record) {
+  latest_ = std::move(record);
+  ++saves_;
+}
+
+void VolatileStore::crash_erase() { latest_.reset(); }
+
+}  // namespace synergy

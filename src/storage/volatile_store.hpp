@@ -1,0 +1,36 @@
+// Volatile (RAM) checkpoint store.
+//
+// The MDCD protocol keeps exactly one checkpoint per process in volatile
+// storage — "a process will not roll back any further than its most recent
+// checkpoint; therefore, a process keeps only its most recent checkpoint
+// in volatile storage" (paper §4.1, footnote 1). The store's contents are
+// lost when the hosting node crashes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "storage/checkpoint.hpp"
+
+namespace synergy {
+
+class VolatileStore {
+ public:
+  /// Save a checkpoint, replacing any previous one.
+  void save(CheckpointRecord record);
+
+  /// The most recent checkpoint, if one exists (and the node hasn't
+  /// crashed since it was taken).
+  const std::optional<CheckpointRecord>& latest() const { return latest_; }
+
+  /// Node crash: volatile contents vanish.
+  void crash_erase();
+
+  std::uint64_t saves() const { return saves_; }
+
+ private:
+  std::optional<CheckpointRecord> latest_;
+  std::uint64_t saves_ = 0;
+};
+
+}  // namespace synergy

@@ -1,0 +1,76 @@
+// Time-based checkpointing parameters (Neves & Fuchs; paper §2.2 / §4.2).
+#pragma once
+
+#include "common/time.hpp"
+
+namespace synergy {
+
+enum class TbVariant {
+  /// Original protocol: checkpoint contents are always the current state;
+  /// one blocking formula (delta + 2*rho*eps - tmin); every message —
+  /// passed-AT notifications included — is blocked during blocking.
+  kOriginal,
+  /// Adapted protocol (paper Figure 5): contents chosen by the
+  /// contamination flag (current state if clean, most recent volatile
+  /// checkpoint if dirty); confidence-adaptive blocking
+  /// tau(b) = delta + 2*rho*eps + Tm(b), Tm(b) = b*tmax - (1-b)*tmin;
+  /// an in-progress write aborts and is replaced by the current state if
+  /// the flag clears during the blocking period; passed-AT notifications
+  /// are monitored during blocking (handled by the modified MDCD engine).
+  kAdapted,
+};
+
+inline const char* to_string(TbVariant v) {
+  return v == TbVariant::kOriginal ? "original" : "adapted";
+}
+
+/// Blocking-period ablations (Figure 2 and the blocking bench). The
+/// protocol's own formulas are kProtocol; the others deliberately weaken
+/// the protocol to demonstrate which guarantee each term buys.
+enum class BlockingModel {
+  kProtocol,           ///< tau per the (variant's) formula.
+  kNone,               ///< No blocking at all: Figure 2(a) violations.
+  kCleanFormulaAlways, ///< Dirty expiries also use delta+2*rho*eps - tmin:
+                       ///< drops the +tmax term the adapted protocol needs
+                       ///< to catch in-flight validations (paper §4.2).
+};
+
+inline const char* to_string(BlockingModel m) {
+  switch (m) {
+    case BlockingModel::kProtocol: return "protocol";
+    case BlockingModel::kNone: return "none";
+    case BlockingModel::kCleanFormulaAlways: return "clean_formula";
+  }
+  return "?";
+}
+
+struct TbParams {
+  TbVariant variant = TbVariant::kAdapted;
+
+  BlockingModel blocking_model = BlockingModel::kProtocol;
+
+  /// Drop the unacked-message log from stable checkpoints (Figure 2(b)
+  /// ablation: in-transit messages become unrecoverable).
+  bool omit_unacked_log = false;
+
+  /// Checkpoint interval Delta (measured on each process's local clock).
+  Duration interval = Duration::seconds(60);
+
+  /// Maximum pairwise clock deviation right after a resync (delta).
+  Duration delta = Duration::millis(2);
+
+  /// Maximum clock drift rate (rho).
+  double rho = 1e-5;
+
+  /// Network delivery-delay bounds.
+  Duration tmin = Duration::millis(1);
+  Duration tmax = Duration::millis(10);
+
+  /// Request a timer resynchronization when the worst-case blocking period
+  /// exceeds this fraction of the checkpoint interval. (The paper's Figure
+  /// 5 resync condition compares the deviation-bound growth against the
+  /// time base; we use the equivalent, explicitly-parameterized form.)
+  double resync_threshold = 0.25;
+};
+
+}  // namespace synergy

@@ -1,0 +1,221 @@
+#include "tb/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+TbEngine::TbEngine(const TbParams& params, CheckpointableProcess& mdcd,
+                   StableStore& store, LocalTimerService& timers,
+                   std::function<Duration()> elapsed_since_resync,
+                   TraceLog* trace)
+    : params_(params), mdcd_(mdcd), store_(store), timers_(timers),
+      elapsed_since_resync_(std::move(elapsed_since_resync)), trace_(trace) {
+  SYNERGY_EXPECTS(elapsed_since_resync_ != nullptr);
+  SYNERGY_EXPECTS(params_.interval > Duration::zero());
+}
+
+TbEngine::~TbEngine() { stop(); }
+
+Duration TbEngine::blocking_period(bool contaminated) const {
+  if (params_.blocking_model == BlockingModel::kNone) return Duration::zero();
+  const Duration eps = elapsed_since_resync_();
+  const auto drift_term = static_cast<std::int64_t>(
+      std::ceil(2.0 * params_.rho * static_cast<double>(eps.count())));
+  const Duration deviation = params_.delta + Duration::micros(drift_term);
+  // tau(b) = delta + 2*rho*eps + Tm(b); original protocol always uses the
+  // clean formula Tm(0) = -tmin, as does the clean-formula ablation.
+  const bool b = params_.variant == TbVariant::kAdapted && contaminated &&
+                 params_.blocking_model != BlockingModel::kCleanFormulaAlways;
+  const Duration tau = b ? deviation + params_.tmax : deviation - params_.tmin;
+  return std::max(tau, Duration::zero());
+}
+
+namespace {
+
+// Checkpoint deadlines sit on the shared absolute schedule k * Delta of
+// each process's local clock (dCKPT_time in the paper): processes aim for
+// the same wall-clock instants, and their clock offsets — not their start
+// times — determine the skew between their expirations.
+TimePoint next_boundary(TimePoint local_now, Duration interval) {
+  const std::int64_t k = local_now.count() / interval.count();
+  return TimePoint{(k + 1) * interval.count()};
+}
+
+// The checkpoint index IS the boundary number (the paper's
+// dCKPT_time = Ndc * Delta): deriving Ndc from the schedule keeps every
+// process's indices aligned to the same wall-clock instants, across any
+// number of recoveries that reset the timers mid-interval.
+StableSeq boundary_index(TimePoint local, Duration interval) {
+  return static_cast<StableSeq>(local.count() / interval.count());
+}
+
+}  // namespace
+
+void TbEngine::start() {
+  SYNERGY_EXPECTS(!started_);
+  started_ = true;
+  if (params_.variant == TbVariant::kAdapted) {
+    mdcd_.set_contamination_cleared_observer(
+        [this] { on_contamination_cleared(); });
+  }
+  next_ckpt_local_ = next_boundary(timers_.local_now(), params_.interval);
+  ckpt_timer_ =
+      timers_.schedule_at_local(next_ckpt_local_, [this] { create_ckpt(); });
+}
+
+void TbEngine::stop() {
+  if (ckpt_timer_ != 0) {
+    timers_.cancel(ckpt_timer_);
+    ckpt_timer_ = 0;
+  }
+  if (blocking_timer_ != 0) {
+    timers_.cancel(blocking_timer_);
+    blocking_timer_ = 0;
+  }
+  // Blocking state in the MDCD engine is cleared by recovery/restart paths.
+  blocking_active_ = false;
+  watching_confidence_ = false;
+  started_ = false;
+}
+
+void TbEngine::reset_after_recovery(StableSeq restored_ndc) {
+  stop();
+  // The schedule, not the restored record, dictates the index: queries
+  // between now and the next boundary see the last completed boundary
+  // (never below the restored line).
+  ndc_ = std::max(restored_ndc,
+                  boundary_index(timers_.local_now(), params_.interval));
+  started_ = true;
+  if (params_.variant == TbVariant::kAdapted) {
+    mdcd_.set_contamination_cleared_observer(
+        [this] { on_contamination_cleared(); });
+  }
+  next_ckpt_local_ = next_boundary(timers_.local_now(), params_.interval);
+  ckpt_timer_ =
+      timers_.schedule_at_local(next_ckpt_local_, [this] { create_ckpt(); });
+}
+
+void TbEngine::set_resync_requester(std::function<void()> fn) {
+  resync_requester_ = std::move(fn);
+}
+
+void TbEngine::create_ckpt() {
+  ckpt_timer_ = 0;
+  if (!mdcd_.alive()) return;  // crashed node: no checkpointing
+
+  const bool contaminated = mdcd_.contamination_flag();
+  ndc_ = boundary_index(next_ckpt_local_, params_.interval);
+
+  // Choose contents (Figure 5: write_disk(current,0,null) vs
+  // write_disk(rCKPT,1,current)).
+  CheckpointRecord rec;
+  const char* contents;
+  if (params_.variant == TbVariant::kAdapted && contaminated) {
+    const auto& v = mdcd_.latest_volatile();
+    SYNERGY_ASSERT(v.has_value());  // dirty implies a Type-1/pseudo ckpt
+    rec = *v;
+    rec.kind = CkptKind::kStable;
+    rec.established_at = mdcd_.current_time();
+    // rec.state_time stays at the volatile checkpoint's instant: that is
+    // the state a restoring process actually resumes from.
+    ++copies_;
+    contents = "copy_volatile";
+  } else {
+    rec = mdcd_.make_record(CkptKind::kStable);
+    ++currents_;
+    contents = "current_state";
+  }
+  rec.ndc = ndc_;
+  if (params_.omit_unacked_log) rec.unacked.clear();  // Figure 2(b) ablation
+  ++ckpts_;
+
+  if (trace_) {
+    trace_->record(mdcd_.current_time(), mdcd_.self(), TraceKind::kStableBegin,
+                   contents, ndc_);
+  }
+  CheckpointableProcess* mdcd = &mdcd_;
+  TraceLog* trace = trace_;
+  store_.begin_write(std::move(rec),
+                     [trace, mdcd](const CheckpointRecord& committed) {
+                       if (trace) {
+                         trace->record(mdcd->current_time(), mdcd->self(),
+                                       TraceKind::kStableCommit, {},
+                                       committed.ndc);
+                       }
+                     });
+
+  // Blocking period.
+  const Duration tau = blocking_period(contaminated);
+  if (tau > Duration::zero()) {
+    last_blocking_ = tau;
+    total_blocking_ += tau;
+    blocking_active_ = true;
+    watching_confidence_ =
+        params_.variant == TbVariant::kAdapted && contaminated;
+    mdcd_.begin_blocking();
+    blocking_timer_ =
+        timers_.schedule_after_local(tau, [this] { end_blocking(); });
+  }
+
+  // Re-arm the checkpoint timer: dCKPT_time += Delta.
+  next_ckpt_local_ += params_.interval;
+  ckpt_timer_ =
+      timers_.schedule_at_local(next_ckpt_local_, [this] { create_ckpt(); });
+
+  // Resynchronization request when the deviation bound (and with it the
+  // worst-case blocking period) has grown too large relative to Delta.
+  const Duration worst = blocking_period(/*contaminated=*/true);
+  const auto threshold = Duration::micros(static_cast<std::int64_t>(
+      params_.resync_threshold * static_cast<double>(params_.interval.count())));
+  if (worst > threshold && resync_requester_) {
+    ++resync_requests_;
+    if (trace_) {
+      trace_->record(mdcd_.current_time(), mdcd_.self(),
+                     TraceKind::kResyncRequest);
+    }
+    resync_requester_();
+  }
+}
+
+void TbEngine::end_blocking() {
+  blocking_timer_ = 0;
+  blocking_active_ = false;
+  watching_confidence_ = false;
+  if (mdcd_.in_blocking()) mdcd_.end_blocking();
+}
+
+void TbEngine::on_contamination_cleared() {
+  if (!watching_confidence_ || !blocking_active_) return;
+  watching_confidence_ = false;
+  // The dirty bit cleared inside the blocking period: abort the copy and
+  // replace the checkpoint contents with the current process state
+  // (equivalent to the state at the moment the blocking period started —
+  // application traffic is deferred while blocking).
+  CheckpointRecord rec = mdcd_.make_record(CkptKind::kStable);
+  rec.ndc = ndc_;
+  ++replacements_;
+  if (trace_) {
+    trace_->record(rec.established_at, mdcd_.self(), TraceKind::kStableReplace,
+                   {}, ndc_);
+  }
+  CheckpointableProcess* mdcd = &mdcd_;
+  TraceLog* trace = trace_;
+  auto on_commit = [trace, mdcd](const CheckpointRecord& committed) {
+    if (trace) {
+      trace->record(mdcd->current_time(), mdcd->self(),
+                    TraceKind::kStableCommit, {}, committed.ndc);
+    }
+  };
+  if (store_.write_in_progress()) {
+    store_.replace_in_progress(std::move(rec));
+  } else {
+    // The copy already committed (fast disk): overwrite it outright.
+    store_.begin_write(std::move(rec), on_commit);
+  }
+}
+
+}  // namespace synergy

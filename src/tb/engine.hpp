@@ -1,0 +1,103 @@
+// TB checkpointing engine — one per process.
+//
+// Implements createCKPT (paper Figure 5) in both variants. On each local
+// timer expiry the engine:
+//   1. increments Ndc and chooses the stable checkpoint contents
+//      (original: current state; adapted: current state if the
+//      contamination flag is clear, otherwise a copy of the most recent
+//      volatile checkpoint);
+//   2. begins the stable-storage write and starts a blocking period whose
+//      length depends on the variant and the contamination flag;
+//   3. (adapted) watches the contamination flag during the blocking
+//      period: if it clears, the in-progress write is aborted and its
+//      contents replaced with the current process state;
+//   4. re-arms the timer for the next interval and requests a clock
+//      resynchronization when the deviation bound has grown too large.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "clock/timer_service.hpp"
+#include "mdcd/checkpointable.hpp"
+#include "storage/stable_store.hpp"
+#include "tb/config.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+class TbEngine {
+ public:
+  /// `elapsed_since_resync` supplies eps, the time since the last clock
+  /// resynchronization (from the ClockEnsemble).
+  TbEngine(const TbParams& params, CheckpointableProcess& mdcd, StableStore& store,
+           LocalTimerService& timers,
+           std::function<Duration()> elapsed_since_resync, TraceLog* trace);
+  ~TbEngine();
+
+  TbEngine(const TbEngine&) = delete;
+  TbEngine& operator=(const TbEngine&) = delete;
+
+  /// Arm the first checkpoint timer at the next interval boundary on the
+  /// local clock, and (adapted variant) hook the contamination observer.
+  void start();
+
+  /// Cancel pending timers (crash, shutdown).
+  void stop();
+
+  /// Current stable-checkpoint sequence number (paper: Ndc).
+  StableSeq ndc() const { return ndc_; }
+
+  /// Called by the system after a hardware recovery: adopt the restored
+  /// Ndc and re-arm the timer one interval from the current local time.
+  void reset_after_recovery(StableSeq restored_ndc);
+
+  /// Wire the resynchronization requester (typically
+  /// ClockEnsemble::resync_all, possibly via a latency model).
+  void set_resync_requester(std::function<void()> fn);
+
+  // ---- Statistics ------------------------------------------------------
+  std::uint64_t checkpoints_taken() const { return ckpts_; }
+  std::uint64_t copy_contents() const { return copies_; }
+  std::uint64_t current_contents() const { return currents_; }
+  std::uint64_t replacements() const { return replacements_; }
+  std::uint64_t resync_requests() const { return resync_requests_; }
+  Duration total_blocking() const { return total_blocking_; }
+  Duration last_blocking() const { return last_blocking_; }
+  bool blocking_active() const { return blocking_active_; }
+
+  /// Blocking period for the given contamination flag at the current eps
+  /// (exposed for Table 1 and the ablation benches).
+  Duration blocking_period(bool contaminated) const;
+
+ private:
+  void create_ckpt();
+  void end_blocking();
+  void on_contamination_cleared();
+
+  TbParams params_;
+  CheckpointableProcess& mdcd_;
+  StableStore& store_;
+  LocalTimerService& timers_;
+  std::function<Duration()> elapsed_since_resync_;
+  TraceLog* trace_;
+  std::function<void()> resync_requester_;
+
+  StableSeq ndc_ = 0;
+  TimePoint next_ckpt_local_;
+  LocalTimerService::TimerId ckpt_timer_ = 0;
+  LocalTimerService::TimerId blocking_timer_ = 0;
+  bool started_ = false;
+  bool blocking_active_ = false;
+  bool watching_confidence_ = false;
+
+  std::uint64_t ckpts_ = 0;
+  std::uint64_t copies_ = 0;
+  std::uint64_t currents_ = 0;
+  std::uint64_t replacements_ = 0;
+  std::uint64_t resync_requests_ = 0;
+  Duration total_blocking_ = Duration::zero();
+  Duration last_blocking_ = Duration::zero();
+};
+
+}  // namespace synergy

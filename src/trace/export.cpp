@@ -1,0 +1,58 @@
+#include "trace/export.hpp"
+
+#include <cstdio>
+
+namespace synergy {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_trace_csv(const TraceLog& trace, std::ostream& out) {
+  out << "t_seconds,process,kind,detail,a,b\n";
+  for (const auto& e : trace.events()) {
+    out << e.t.to_seconds() << ',' << csv_escape(to_string(e.process)) << ','
+        << to_string(e.kind) << ',' << csv_escape(e.detail) << ',' << e.a
+        << ',' << e.b << '\n';
+  }
+}
+
+void write_trace_jsonl(const TraceLog& trace, std::ostream& out) {
+  for (const auto& e : trace.events()) {
+    out << "{\"t\":" << e.t.to_seconds() << ",\"process\":\""
+        << json_escape(to_string(e.process)) << "\",\"kind\":\""
+        << to_string(e.kind) << "\",\"detail\":\"" << json_escape(e.detail)
+        << "\",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+  }
+}
+
+}  // namespace synergy

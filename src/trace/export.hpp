@@ -1,0 +1,27 @@
+// Trace and result export: CSV and JSON Lines.
+//
+// Benches and the CLI dump traces for offline analysis (gnuplot, pandas).
+// CSV columns: t_seconds,process,kind,detail,a,b. JSONL: one event object
+// per line with the same fields.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+/// Write the whole trace as CSV (with header).
+void write_trace_csv(const TraceLog& trace, std::ostream& out);
+
+/// Write the whole trace as JSON Lines.
+void write_trace_jsonl(const TraceLog& trace, std::ostream& out);
+
+/// Escape a string for a CSV field (quotes when needed).
+std::string csv_escape(const std::string& s);
+
+/// Escape a string for a JSON string literal (without quotes).
+std::string json_escape(const std::string& s);
+
+}  // namespace synergy

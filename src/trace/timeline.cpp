@@ -1,0 +1,119 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+namespace {
+
+char marker_for(TraceKind kind, const std::string& detail) {
+  switch (kind) {
+    case TraceKind::kCkptVolatile:
+      if (detail == "type1") return '1';
+      if (detail == "type2") return '2';
+      return 'P';  // pseudo
+    case TraceKind::kStableBegin: return 'S';
+    case TraceKind::kStableReplace: return 'R';
+    case TraceKind::kStableCommit: return 'C';
+    case TraceKind::kAtPass: return 'A';
+    case TraceKind::kAtFail: return 'X';
+    case TraceKind::kHwFault: return '!';
+    case TraceKind::kHwRestore: return '^';
+    case TraceKind::kTakeover: return 'T';
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+std::string render_timeline(const TraceLog& trace,
+                            const std::vector<ProcessId>& processes,
+                            const TimelineOptions& options) {
+  const auto& events = trace.events();
+  if (events.empty()) return "(empty trace)\n";
+
+  TimePoint t0 = events.front().t;
+  TimePoint t1 = events.front().t;
+  for (const auto& e : events) {
+    t0 = std::min(t0, e.t);
+    t1 = std::max(t1, e.t);
+  }
+  const double span =
+      std::max<double>(1.0, static_cast<double>((t1 - t0).count()));
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+  auto col = [&](TimePoint t) {
+    const double frac = static_cast<double>((t - t0).count()) / span;
+    return std::min<std::size_t>(width - 1,
+                                 static_cast<std::size_t>(frac * (width - 1)));
+  };
+
+  std::ostringstream out;
+  out << "time: " << t0.to_seconds() << "s .. " << t1.to_seconds() << "s ("
+      << width << " cols)\n";
+
+  for (ProcessId p : processes) {
+    // Base lane: clean '-', dirty '=' intervals, blocking '#' overlay.
+    std::string lane(width, '-');
+    bool dirty = false;
+    bool blocked = false;
+    std::size_t cursor = 0;
+    auto fill_to = [&](std::size_t c) {
+      for (; cursor < c && cursor < width; ++cursor) {
+        lane[cursor] = blocked ? '#' : (dirty ? '=' : '-');
+      }
+    };
+    for (const auto& e : events) {
+      if (e.process != p) continue;
+      switch (e.kind) {
+        case TraceKind::kDirtySet:
+        case TraceKind::kPseudoDirtySet:
+          fill_to(col(e.t));
+          dirty = true;
+          break;
+        case TraceKind::kDirtyClear:
+        case TraceKind::kPseudoDirtyClear:
+          fill_to(col(e.t) + 1);
+          dirty = false;
+          break;
+        case TraceKind::kBlockStart:
+          fill_to(col(e.t));
+          blocked = true;
+          break;
+        case TraceKind::kBlockEnd:
+          fill_to(col(e.t) + 1);
+          blocked = false;
+          break;
+        default:
+          break;
+      }
+    }
+    fill_to(width);
+    // Point markers overwrite the lane.
+    for (const auto& e : events) {
+      if (e.process != p) continue;
+      const char m = marker_for(e.kind, e.detail);
+      if (m != 0) lane[col(e.t)] = m;
+    }
+    std::string name = to_string(p);
+    name.resize(6, ' ');
+    out << name << "|" << lane << "|\n";
+  }
+
+  if (options.show_messages) {
+    out << "messages:\n";
+    for (const auto& e : events) {
+      if (e.kind == TraceKind::kSend || e.kind == TraceKind::kDeliverApp ||
+          e.kind == TraceKind::kSuppressSend ||
+          e.kind == TraceKind::kReplaySend) {
+        out << "  " << e.t.to_seconds() << "s " << to_string(e.process) << " "
+            << to_string(e.kind) << " " << e.detail << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace synergy

@@ -1,0 +1,30 @@
+// ASCII timeline rendering in the style of the paper's figures.
+//
+// Each process gets a horizontal lane; time flows left to right. Lane
+// glyphs: '=' potentially-contaminated interval (shaded region in the
+// paper), '-' clean execution, '#' blocking period, '1'/'2'/'P' Type-1 /
+// Type-2 / pseudo volatile checkpoints, 'S' stable write begin, 'R'
+// in-progress replace, 'C' stable commit, 'A'/'X' AT pass/fail, '!'
+// hardware fault, '^' restore. Message arrows are listed below the lanes
+// (ASCII art of diagonal arrows across lanes is not worth the ambiguity).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+struct TimelineOptions {
+  std::size_t width = 100;     ///< Columns for the time axis.
+  bool show_messages = true;   ///< List message sends/deliveries below.
+};
+
+/// Renders the trace as per-process lanes. `processes` fixes lane order.
+std::string render_timeline(const TraceLog& trace,
+                            const std::vector<ProcessId>& processes,
+                            const TimelineOptions& options = {});
+
+}  // namespace synergy

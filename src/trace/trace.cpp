@@ -1,0 +1,87 @@
+#include "trace/trace.hpp"
+
+#include <sstream>
+
+namespace synergy {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend: return "send";
+    case TraceKind::kSuppressSend: return "suppress_send";
+    case TraceKind::kReceive: return "receive";
+    case TraceKind::kDeliverApp: return "deliver_app";
+    case TraceKind::kHoldBlocked: return "hold_blocked";
+    case TraceKind::kDuplicate: return "duplicate";
+    case TraceKind::kStaleDrop: return "stale_drop";
+    case TraceKind::kStaleDirtyIgnored: return "stale_dirty_ignored";
+    case TraceKind::kCkptVolatile: return "ckpt_volatile";
+    case TraceKind::kStableBegin: return "stable_begin";
+    case TraceKind::kStableReplace: return "stable_replace";
+    case TraceKind::kStableCommit: return "stable_commit";
+    case TraceKind::kAtPass: return "at_pass";
+    case TraceKind::kAtFail: return "at_fail";
+    case TraceKind::kDirtySet: return "dirty_set";
+    case TraceKind::kDirtyClear: return "dirty_clear";
+    case TraceKind::kPseudoDirtySet: return "pseudo_dirty_set";
+    case TraceKind::kPseudoDirtyClear: return "pseudo_dirty_clear";
+    case TraceKind::kNdcGateReject: return "ndc_gate_reject";
+    case TraceKind::kBlockStart: return "block_start";
+    case TraceKind::kBlockEnd: return "block_end";
+    case TraceKind::kResyncRequest: return "resync_request";
+    case TraceKind::kResync: return "resync";
+    case TraceKind::kSwErrorDetected: return "sw_error_detected";
+    case TraceKind::kTakeover: return "takeover";
+    case TraceKind::kRollback: return "rollback";
+    case TraceKind::kRollForward: return "roll_forward";
+    case TraceKind::kReplaySend: return "replay_send";
+    case TraceKind::kReplayDrop: return "replay_drop";
+    case TraceKind::kSwRecoveryDone: return "sw_recovery_done";
+    case TraceKind::kHwFault: return "hw_fault";
+    case TraceKind::kHwRestore: return "hw_restore";
+    case TraceKind::kResendUnacked: return "resend_unacked";
+    case TraceKind::kHwRecoveryDone: return "hw_recovery_done";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceLog::of_kind(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::of_process(ProcessId p) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.process == p) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += e.kind == kind;
+  return n;
+}
+
+std::size_t TraceLog::count(TraceKind kind, ProcessId p) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.kind == kind && e.process == p);
+  return n;
+}
+
+std::string TraceLog::dump() const {
+  std::ostringstream out;
+  for (const auto& e : events_) {
+    out << e.t.to_seconds() << "s " << to_string(e.process) << " "
+        << to_string(e.kind);
+    if (!e.detail.empty()) out << " " << e.detail;
+    if (e.a || e.b) out << " [" << e.a << "," << e.b << "]";
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace synergy

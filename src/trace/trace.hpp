@@ -1,0 +1,93 @@
+// Structured event traces.
+//
+// Every protocol-visible action (checkpoint establishment, dirty-bit
+// transition, blocking window, AT outcome, recovery step, ...) is recorded
+// as a TraceEvent. The trace is how we regenerate the paper's scenario
+// figures (1, 2, 3, 4, 6) as machine-checkable artifacts: tests assert on
+// the event sequence, and the timeline renderer draws the figure as ASCII.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace synergy {
+
+enum class TraceKind : std::uint8_t {
+  kSend,
+  kSuppressSend,    ///< P1sdw logging instead of sending.
+  kReceive,         ///< Transport-level receipt.
+  kDeliverApp,      ///< Message passed to the application.
+  kHoldBlocked,     ///< Message held because a blocking period is active.
+  kDuplicate,       ///< Duplicate suppressed at consumption.
+  kStaleDrop,       ///< Message from a pre-recovery epoch fenced out.
+  kStaleDirtyIgnored,  ///< Dirty flag recognized as stale (watermark mode).
+  kCkptVolatile,    ///< Volatile checkpoint established.
+  kStableBegin,     ///< Stable-storage checkpoint write started.
+  kStableReplace,   ///< In-progress stable write aborted & contents replaced.
+  kStableCommit,    ///< Stable-storage checkpoint committed.
+  kAtPass,
+  kAtFail,
+  kDirtySet,
+  kDirtyClear,
+  kPseudoDirtySet,
+  kPseudoDirtyClear,
+  kNdcGateReject,   ///< passed_AT ignored: piggybacked Ndc mismatched.
+  kBlockStart,
+  kBlockEnd,
+  kResyncRequest,
+  kResync,
+  kSwErrorDetected,
+  kTakeover,        ///< P1sdw assumes the active role.
+  kRollback,
+  kRollForward,
+  kReplaySend,      ///< Logged message re-sent during software recovery.
+  kReplayDrop,      ///< Logged message dropped (already valid via P1act).
+  kSwRecoveryDone,
+  kHwFault,
+  kHwRestore,       ///< Process state restored from stable storage.
+  kResendUnacked,
+  kHwRecoveryDone,
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  TimePoint t;       ///< True (simulator) time.
+  ProcessId process;
+  TraceKind kind = TraceKind::kSend;
+  std::string detail;
+  std::uint64_t a = 0;  ///< Kind-specific (e.g. msg sn, Ndc).
+  std::uint64_t b = 0;
+};
+
+class TraceLog {
+ public:
+  void record(TraceEvent ev) { events_.push_back(std::move(ev)); }
+  void record(TimePoint t, ProcessId p, TraceKind kind, std::string detail = {},
+              std::uint64_t a = 0, std::uint64_t b = 0) {
+    events_.push_back(TraceEvent{t, p, kind, std::move(detail), a, b});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  std::vector<TraceEvent> of_kind(TraceKind kind) const;
+  /// Events of one process, in order.
+  std::vector<TraceEvent> of_process(ProcessId p) const;
+  /// Count of events matching kind (and optionally process).
+  std::size_t count(TraceKind kind) const;
+  std::size_t count(TraceKind kind, ProcessId p) const;
+
+  /// One line per event, human-readable (diagnostics and figure dumps).
+  std::string dump() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace synergy

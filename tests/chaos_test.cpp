@@ -1,0 +1,149 @@
+// Chaos soak: long missions with Poisson hardware faults, probabilistic
+// design-fault activation, and periodic recovery-line audits — the
+// paper's theorems as standing invariants under everything at once.
+#include <gtest/gtest.h>
+
+#include "analysis/checkers.hpp"
+#include "core/system.hpp"
+
+namespace synergy {
+namespace {
+
+struct ChaosCase {
+  std::uint64_t seed;
+  double fault_mean_gap;  // seconds between hardware faults (mean)
+};
+
+class ChaosSoak : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSoak, LinesStayConsistentThroughEverything) {
+  const ChaosCase cc = GetParam();
+  SystemConfig c;
+  c.scheme = Scheme::kCoordinated;
+  c.seed = cc.seed;
+  c.workload.p1_internal_rate = 3.0;
+  c.workload.p2_internal_rate = 3.0;
+  c.workload.p1_external_rate = 0.3;
+  c.workload.p2_external_rate = 0.3;
+  c.workload.step_rate = 1.0;
+  c.sw_fault.activation_per_send = 0.001;
+  c.tb.interval = Duration::seconds(10);
+  c.repair_latency = Duration::seconds(2);
+
+  System system(c);
+  Rng rng(cc.seed * 977 + 5);
+  const Duration horizon = Duration::seconds(600);
+  system.start(TimePoint::origin() + horizon);
+
+  // Poisson hardware faults on random nodes (skipped while repairing).
+  TimePoint t = TimePoint::origin() + Duration::seconds(30);
+  while (t < TimePoint::origin() + horizon - Duration::seconds(30)) {
+    system.schedule_hw_fault(
+        t, NodeId{static_cast<std::uint32_t>(rng.uniform_int(0, 2))});
+    t += rng.exponential(Duration::from_seconds(cc.fault_mean_gap));
+  }
+
+  // Periodic line audits.
+  std::size_t violations = 0;
+  std::size_t lines = 0;
+  for (int s = 15; s < 600; s += 15) {
+    system.sim().schedule_at(TimePoint::origin() + Duration::seconds(s),
+                             [&] {
+                               const GlobalState line =
+                                   system.stable_line_state();
+                               violations +=
+                                   check_consistency(line).size() +
+                                   check_recoverability(line).size() +
+                                   check_software_recoverability(line).size();
+                               ++lines;
+                             });
+  }
+  system.run();
+
+  EXPECT_EQ(violations, 0u) << "seed " << cc.seed;
+  EXPECT_GE(lines, 30u);
+  EXPECT_GE(system.hw_recoveries().size(), 1u);
+
+  // Ground truth: with perfect AT coverage, no erroneous value ever
+  // reaches the device, through any number of recoveries.
+  for (const auto& e : system.device().entries) {
+    EXPECT_FALSE(e.tainted) << "seed " << cc.seed;
+  }
+  // And if the design fault struck, the survivors ended clean.
+  if (system.sw_recovery().has_value()) {
+    for (const auto& p : system.live_state().processes) {
+      EXPECT_FALSE(p.app_tainted) << "seed " << cc.seed;
+    }
+  }
+}
+
+std::vector<ChaosCase> chaos_cases() {
+  return {
+      {1, 120.0}, {2, 120.0}, {3, 120.0}, {4, 60.0},
+      {5, 60.0},  {6, 200.0}, {7, 90.0},  {8, 150.0},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Soak, ChaosSoak, ::testing::ValuesIn(chaos_cases()),
+                         [](const ::testing::TestParamInfo<ChaosCase>& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "_gap" +
+                                  std::to_string(static_cast<int>(
+                                      info.param.fault_mean_gap));
+                         });
+
+// ---------------------------------------------------------------------------
+// Imperfect acceptance tests: with coverage < 1 the protocols cannot
+// guarantee taint-freedom (missed detections legitimately slip through),
+// but the *structural* properties must still hold.
+// ---------------------------------------------------------------------------
+TEST(ImperfectCoverageTest, StructuralPropertiesHoldAnyway) {
+  SystemConfig c;
+  c.scheme = Scheme::kCoordinated;
+  c.seed = 77;
+  c.at.coverage = 0.6;
+  c.sw_fault.activation_per_send = 0.01;
+  c.workload.p1_internal_rate = 2.0;
+  c.workload.p2_internal_rate = 2.0;
+  c.workload.p1_external_rate = 0.3;
+  c.workload.p2_external_rate = 0.3;
+  c.tb.interval = Duration::seconds(10);
+  System system(c);
+  system.start(TimePoint::origin() + Duration::seconds(300));
+  system.schedule_hw_fault(TimePoint::origin() + Duration::seconds(150),
+                           NodeId{1});
+  system.run();
+
+  const GlobalState line = system.stable_line_state();
+  EXPECT_TRUE(check_consistency(line).empty());
+  EXPECT_TRUE(check_recoverability(line).empty());
+}
+
+TEST(FalseAlarmTest, SpuriousAtFailureStillRecoversCleanly) {
+  // A false alarm (AT rejects a correct output) triggers a takeover that
+  // was not strictly necessary — the system must survive it identically.
+  SystemConfig c;
+  c.scheme = Scheme::kCoordinated;
+  c.seed = 78;
+  c.at.false_alarm = 0.05;
+  c.workload.p1_internal_rate = 2.0;
+  c.workload.p2_internal_rate = 2.0;
+  c.workload.p1_external_rate = 0.5;
+  c.workload.p2_external_rate = 0.5;
+  c.tb.interval = Duration::seconds(10);
+  System system(c);
+  system.start(TimePoint::origin() + Duration::seconds(300));
+  system.run();
+  ASSERT_TRUE(system.sw_recovery().has_value());  // a false alarm struck
+  EXPECT_TRUE(system.p1sdw().active());
+  for (const auto& p : system.live_state().processes) {
+    EXPECT_FALSE(p.dirty);
+    EXPECT_FALSE(p.app_tainted);
+  }
+  const GlobalState line = system.stable_line_state();
+  EXPECT_TRUE(check_consistency(line).empty());
+  EXPECT_TRUE(check_recoverability(line).empty());
+}
+
+}  // namespace
+}  // namespace synergy

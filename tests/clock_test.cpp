@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "clock/drift_clock.hpp"
+#include "clock/ensemble.hpp"
+#include "clock/timer_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace synergy {
+namespace {
+
+TEST(DriftClockTest, NoDriftNoOffsetIsIdentity) {
+  DriftClock clock(TimePoint{0}, Duration::zero(), 0.0);
+  EXPECT_EQ(clock.local_time(TimePoint{12345}), TimePoint{12345});
+  EXPECT_EQ(clock.true_time_of(TimePoint{777}), TimePoint{777});
+}
+
+TEST(DriftClockTest, OffsetShiftsReading) {
+  DriftClock clock(TimePoint{0}, Duration::micros(500), 0.0);
+  EXPECT_EQ(clock.local_time(TimePoint{1000}), TimePoint{1500});
+  EXPECT_EQ(clock.offset_at(TimePoint{1000}), Duration::micros(500));
+}
+
+TEST(DriftClockTest, DriftAccumulates) {
+  DriftClock clock(TimePoint{0}, Duration::zero(), 1e-3);
+  // After 1 simulated second, a +1e-3 drift clock is 1 ms ahead.
+  const TimePoint t = TimePoint{1'000'000};
+  EXPECT_EQ(clock.local_time(t), TimePoint{1'001'000});
+}
+
+TEST(DriftClockTest, InverseMappingRoundTrips) {
+  DriftClock clock(TimePoint{1000}, Duration::micros(-300), 5e-4);
+  for (std::int64_t t : {2'000LL, 500'000LL, 10'000'000LL}) {
+    const TimePoint true_t{1000 + t};
+    const TimePoint local = clock.local_time(true_t);
+    const TimePoint back = clock.true_time_of(local);
+    EXPECT_LE(std::llabs((back - true_t).count()), 1);
+  }
+}
+
+TEST(DriftClockTest, ResyncReanchors) {
+  DriftClock clock(TimePoint{0}, Duration::micros(900), 0.0);
+  clock.resync(TimePoint{5000}, Duration::micros(-100));
+  EXPECT_EQ(clock.local_time(TimePoint{5000}), TimePoint{4900});
+  EXPECT_EQ(clock.last_resync_true_time(), TimePoint{5000});
+}
+
+TEST(TimerServiceTest, FiresAtLocalDeadline) {
+  Simulator sim;
+  DriftClock clock(TimePoint{0}, Duration::micros(100), 0.0);
+  LocalTimerService timers(sim, clock);
+  TimePoint fired_true;
+  // Local deadline 1000 corresponds to true time 900 (clock 100 ahead).
+  timers.schedule_at_local(TimePoint{1000}, [&] { fired_true = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_true, TimePoint{900});
+}
+
+TEST(TimerServiceTest, CancelWorks) {
+  Simulator sim;
+  DriftClock clock(TimePoint{0}, Duration::zero(), 0.0);
+  LocalTimerService timers(sim, clock);
+  bool ran = false;
+  auto id = timers.schedule_after_local(Duration{100}, [&] { ran = true; });
+  EXPECT_TRUE(timers.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(TimerServiceTest, RemapsAfterResync) {
+  Simulator sim;
+  DriftClock clock(TimePoint{0}, Duration::zero(), 0.0);
+  LocalTimerService timers(sim, clock);
+  TimePoint fired_true;
+  timers.schedule_at_local(TimePoint{10'000}, [&] { fired_true = sim.now(); });
+  // At true 2000 the clock jumps 3000 ahead: local deadline 10000 now
+  // corresponds to true 2000 + (10000 - 5000) = 7000.
+  sim.schedule_at(TimePoint{2000}, [&] {
+    clock.resync(TimePoint{2000}, Duration::micros(3000));
+    timers.on_clock_adjusted();
+  });
+  sim.run();
+  EXPECT_EQ(fired_true, TimePoint{7000});
+}
+
+TEST(TimerServiceTest, PastDeadlineFiresImmediately) {
+  Simulator sim;
+  DriftClock clock(TimePoint{0}, Duration::zero(), 0.0);
+  LocalTimerService timers(sim, clock);
+  sim.run_until(TimePoint{500});
+  bool ran = false;
+  timers.schedule_at_local(TimePoint{100}, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), TimePoint{500});
+}
+
+TEST(ClockEnsembleTest, OffsetsWithinDelta) {
+  Simulator sim;
+  ClockParams params;
+  params.delta = Duration::millis(4);
+  params.rho = 0.0;
+  ClockEnsemble ensemble(sim, params, 3, Rng(42));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      const Duration gap = ensemble.clock(ProcessId{i}).offset_at(sim.now()) -
+                           ensemble.clock(ProcessId{j}).offset_at(sim.now());
+      EXPECT_LE(std::llabs(gap.count()), params.delta.count());
+    }
+  }
+}
+
+TEST(ClockEnsembleTest, DeviationBoundGrowsWithEps) {
+  Simulator sim;
+  ClockParams params;
+  params.delta = Duration::millis(1);
+  params.rho = 1e-4;
+  ClockEnsemble ensemble(sim, params, 2, Rng(1));
+  const Duration b0 = ensemble.deviation_bound(Duration::zero());
+  const Duration b1 = ensemble.deviation_bound(Duration::seconds(100));
+  EXPECT_EQ(b0, params.delta);
+  // 2 * 1e-4 * 100s = 20 ms extra.
+  EXPECT_EQ(b1, params.delta + Duration::millis(20));
+}
+
+TEST(ClockEnsembleTest, ResyncResetsElapsedAndNotifies) {
+  Simulator sim;
+  ClockEnsemble ensemble(sim, ClockParams{}, 2, Rng(3));
+  int notified = 0;
+  ensemble.on_resync([&] { ++notified; });
+  sim.run_until(TimePoint{5'000'000});
+  EXPECT_EQ(ensemble.elapsed_since_resync(), Duration::seconds(5));
+  ensemble.resync_all();
+  EXPECT_EQ(ensemble.elapsed_since_resync(), Duration::zero());
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(ensemble.resync_count(), 1u);
+}
+
+}  // namespace
+}  // namespace synergy

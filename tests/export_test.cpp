@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/export.hpp"
+
+namespace synergy {
+namespace {
+
+TEST(CsvEscapeTest, PlainStringsUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommasAndQuotesQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(JsonEscapeTest, SpecialsEscaped) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TraceExportTest, CsvHasHeaderAndRows) {
+  TraceLog log;
+  log.record(TimePoint{1'000'000}, kP2, TraceKind::kDirtySet, "x,y", 1, 2);
+  std::ostringstream out;
+  write_trace_csv(log, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("t_seconds,process,kind,detail,a,b"), std::string::npos);
+  EXPECT_NE(s.find("1,P2,dirty_set,\"x,y\",1,2"), std::string::npos);
+}
+
+TEST(TraceExportTest, JsonlOneObjectPerEvent) {
+  TraceLog log;
+  log.record(TimePoint{500'000}, kP1Act, TraceKind::kAtPass, "external", 3);
+  log.record(TimePoint{600'000}, kP2, TraceKind::kSend);
+  std::ostringstream out;
+  write_trace_jsonl(log, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("{\"t\":0.5,\"process\":\"P1act\",\"kind\":\"at_pass\""),
+            std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace synergy

@@ -1,0 +1,252 @@
+// MDCD engine behaviour, driven directly (no workload) through the System
+// facade for exact control over event order.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace synergy {
+namespace {
+
+SystemConfig quiet_config(Scheme scheme, std::uint64_t seed = 1) {
+  SystemConfig c;
+  c.scheme = scheme;
+  c.seed = seed;
+  c.workload = WorkloadParams{0, 0, 0, 0, 0};  // manual driving only
+  c.tb.interval = Duration::seconds(1'000'000);  // keep TB out of the way
+  return c;
+}
+
+class MdcdFixture : public ::testing::Test {
+ protected:
+  void build(Scheme scheme, std::uint64_t seed = 1) {
+    system_ = std::make_unique<System>(quiet_config(scheme, seed));
+    system_->start(TimePoint::origin() + Duration::seconds(1'000'000));
+  }
+
+  // Drive one component-1 send event into both replicas, like the
+  // workload would.
+  void c1_send(bool external, std::uint64_t input = 1) {
+    system_->p1act().on_app_send(external, input);
+    system_->p1sdw().on_app_send(external, input);
+  }
+
+  void settle() { system_->sim().run_until(system_->sim().now() + Duration::seconds(1)); }
+
+  std::unique_ptr<System> system_;
+};
+
+TEST_F(MdcdFixture, P1ActPseudoCheckpointBeforeFirstInternalSend) {
+  build(Scheme::kCoordinated);
+  EXPECT_FALSE(system_->p1act().pseudo_dirty());
+  c1_send(false);
+  EXPECT_TRUE(system_->p1act().pseudo_dirty());
+  EXPECT_EQ(system_->trace().count(TraceKind::kCkptVolatile, kP1Act), 1u);
+  ASSERT_TRUE(system_->p1act().latest_volatile().has_value());
+  EXPECT_EQ(system_->p1act().latest_volatile()->kind, CkptKind::kPseudo);
+
+  // Subsequent internal sends do not checkpoint again.
+  c1_send(false);
+  c1_send(false);
+  EXPECT_EQ(system_->trace().count(TraceKind::kCkptVolatile, kP1Act), 1u);
+}
+
+TEST_F(MdcdFixture, P1ActAtPassClearsPseudoAndBroadcasts) {
+  build(Scheme::kCoordinated);
+  c1_send(false);
+  ASSERT_TRUE(system_->p1act().pseudo_dirty());
+  c1_send(true);  // external: AT runs and passes (no fault configured)
+  EXPECT_FALSE(system_->p1act().pseudo_dirty());
+  EXPECT_EQ(system_->trace().count(TraceKind::kAtPass, kP1Act), 1u);
+  settle();
+  // Both P1sdw and P2 got the notification; P1sdw updated VR.
+  EXPECT_EQ(system_->p1sdw().vr_p1act(), system_->p1act().msg_sn());
+
+  // The next internal send re-establishes a pseudo checkpoint.
+  c1_send(false);
+  EXPECT_EQ(system_->trace().count(TraceKind::kCkptVolatile, kP1Act), 2u);
+}
+
+TEST_F(MdcdFixture, P2Type1CheckpointOnFirstDirtyMessageOnly) {
+  build(Scheme::kCoordinated);
+  EXPECT_FALSE(system_->p2().dirty());
+  c1_send(false);
+  settle();
+  EXPECT_TRUE(system_->p2().dirty());
+  EXPECT_EQ(system_->trace().count(TraceKind::kCkptVolatile, kP2), 1u);
+  ASSERT_TRUE(system_->p2().latest_volatile().has_value());
+  EXPECT_EQ(system_->p2().latest_volatile()->kind, CkptKind::kType1);
+  // The Type-1 checkpoint precedes contamination: restored state is clean.
+  EXPECT_FALSE(system_->p2().latest_volatile()->dirty_bit);
+
+  c1_send(false);
+  c1_send(false);
+  settle();
+  EXPECT_EQ(system_->trace().count(TraceKind::kCkptVolatile, kP2), 1u);
+}
+
+TEST_F(MdcdFixture, P2AtPassClearsDirtyAndNotifiesComponent1) {
+  build(Scheme::kCoordinated);
+  c1_send(false);
+  settle();
+  ASSERT_TRUE(system_->p2().dirty());
+
+  system_->p2().on_app_send(/*external=*/true, 42);
+  EXPECT_FALSE(system_->p2().dirty());
+  EXPECT_EQ(system_->trace().count(TraceKind::kAtPass, kP2), 1u);
+  settle();
+  // P2's notification carried the last P1act SN it saw; P1sdw reclaims.
+  EXPECT_EQ(system_->p1sdw().vr_p1act(), system_->p2().p1act_sn_seen());
+  EXPECT_TRUE(system_->p1sdw().suppressed_log().empty());
+}
+
+TEST_F(MdcdFixture, ContaminationPropagatesToShadowViaP2) {
+  build(Scheme::kCoordinated);
+  c1_send(false);  // P1act dirties P2
+  settle();
+  EXPECT_FALSE(system_->p1sdw().dirty());
+  system_->p2().on_app_send(/*external=*/false, 5);  // dirty multicast
+  settle();
+  EXPECT_TRUE(system_->p1sdw().dirty());
+  EXPECT_EQ(system_->trace().count(TraceKind::kCkptVolatile, kP1Sdw), 1u);
+}
+
+TEST_F(MdcdFixture, ShadowSuppressesAndLogs) {
+  build(Scheme::kCoordinated);
+  c1_send(false);
+  c1_send(false);
+  EXPECT_EQ(system_->p1sdw().suppressed_log().size(), 2u);
+  EXPECT_EQ(system_->trace().count(TraceKind::kSuppressSend, kP1Sdw), 2u);
+  settle();
+  // P2 received only P1act's copies.
+  EXPECT_EQ(system_->trace().count(TraceKind::kDeliverApp, kP2), 2u);
+}
+
+TEST_F(MdcdFixture, VrReclaimsOnlyValidatedPrefix) {
+  build(Scheme::kCoordinated);
+  c1_send(false);  // sn 1
+  c1_send(true);   // sn 2, AT pass -> VR = 2
+  settle();
+  c1_send(false);  // sn 3
+  c1_send(false);  // sn 4
+  EXPECT_EQ(system_->p1sdw().vr_p1act(), 2u);
+  ASSERT_EQ(system_->p1sdw().suppressed_log().size(), 2u);
+  EXPECT_EQ(system_->p1sdw().suppressed_log()[0].sn, 3u);
+  EXPECT_EQ(system_->p1sdw().suppressed_log()[1].sn, 4u);
+}
+
+TEST_F(MdcdFixture, NdcGateRejectsMismatchedNotifications) {
+  build(Scheme::kCoordinated);
+  c1_send(false);
+  settle();
+  ASSERT_TRUE(system_->p2().dirty());
+
+  Message note;
+  note.kind = MsgKind::kPassedAt;
+  note.sender = kP1Act;
+  note.receiver = kP2;
+  note.transport_seq = 999'001;
+  note.sn = 1;
+  note.ndc = 57;  // never matches the local Ndc (0: no TB expiry yet)
+  system_->p2().on_message(note);
+  EXPECT_TRUE(system_->p2().dirty());
+  EXPECT_EQ(system_->trace().count(TraceKind::kNdcGateReject, kP2), 1u);
+
+  // A matching Ndc is accepted.
+  note.transport_seq = 999'002;
+  note.ndc = 0;
+  system_->p2().on_message(note);
+  EXPECT_FALSE(system_->p2().dirty());
+}
+
+TEST_F(MdcdFixture, OriginalVariantIgnoresNdc) {
+  build(Scheme::kNaive);  // original MDCD
+  c1_send(false);
+  settle();
+  ASSERT_TRUE(system_->p2().dirty());
+  Message note;
+  note.kind = MsgKind::kPassedAt;
+  note.sender = kP1Act;
+  note.receiver = kP2;
+  note.transport_seq = 999'003;
+  note.sn = 1;
+  note.ndc = 1234;  // ignored by the original protocol
+  system_->p2().on_message(note);
+  EXPECT_FALSE(system_->p2().dirty());
+}
+
+TEST_F(MdcdFixture, OriginalVariantEstablishesType2) {
+  build(Scheme::kNaive);
+  c1_send(false);
+  settle();
+  system_->p2().on_app_send(/*external=*/true, 1);  // AT pass while dirty
+  const auto ckpts = system_->trace().of_kind(TraceKind::kCkptVolatile);
+  bool found_type2 = false;
+  for (const auto& e : ckpts) {
+    if (e.process == kP2 && e.detail == "type2") found_type2 = true;
+  }
+  EXPECT_TRUE(found_type2);
+}
+
+TEST_F(MdcdFixture, ModifiedVariantHasNoType2) {
+  build(Scheme::kCoordinated);
+  c1_send(false);
+  settle();
+  system_->p2().on_app_send(/*external=*/true, 1);
+  for (const auto& e : system_->trace().of_kind(TraceKind::kCkptVolatile)) {
+    EXPECT_NE(e.detail, "type2");
+  }
+}
+
+TEST_F(MdcdFixture, DuplicateDeliverySuppressedAtConsumption) {
+  build(Scheme::kCoordinated);
+  c1_send(false);
+  settle();
+  const std::size_t delivered =
+      system_->trace().count(TraceKind::kDeliverApp, kP2);
+
+  Message dup;
+  dup.kind = MsgKind::kInternal;
+  dup.sender = kP1Act;
+  dup.receiver = kP2;
+  dup.transport_seq = 1;  // the first message P1act's endpoint sent
+  dup.sn = 1;
+  dup.dirty = true;
+  system_->p2().on_message(dup);
+  EXPECT_EQ(system_->trace().count(TraceKind::kDeliverApp, kP2), delivered);
+  EXPECT_GE(system_->trace().count(TraceKind::kDuplicate, kP2), 1u);
+}
+
+TEST_F(MdcdFixture, TaintedPayloadsTaintReceivers) {
+  build(Scheme::kCoordinated);
+  system_->node(kP1Act).app().corrupt(99);
+  c1_send(false);
+  settle();
+  EXPECT_TRUE(system_->p2().dirty());
+  EXPECT_TRUE(system_->node(kP2).app().tainted());
+  // The shadow computed from clean state: not tainted.
+  EXPECT_FALSE(system_->node(kP1Sdw).app().tainted());
+}
+
+TEST_F(MdcdFixture, ProtocolStateSnapshotRoundTrip) {
+  build(Scheme::kCoordinated);
+  c1_send(false);
+  c1_send(false);
+  settle();
+  MdcdEngine& p2 = system_->p2();
+  const Bytes snap = p2.snapshot_protocol_state();
+  const bool dirty = p2.dirty();
+  const MsgSeq sn = p2.msg_sn();
+  const std::size_t recv = p2.recv_views().size();
+
+  c1_send(false);
+  settle();
+  EXPECT_GT(p2.recv_views().size(), recv);
+
+  p2.restore_protocol_state(snap);
+  EXPECT_EQ(p2.dirty(), dirty);
+  EXPECT_EQ(p2.msg_sn(), sn);
+  EXPECT_EQ(p2.recv_views().size(), recv);
+}
+
+}  // namespace
+}  // namespace synergy

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "analysis/model.hpp"
+
+namespace synergy {
+namespace {
+
+RollbackModelParams params(double ld, double lv, double delta_s = 60) {
+  RollbackModelParams p;
+  p.lambda_dirty = ld;
+  p.lambda_valid = lv;
+  p.interval = Duration::from_seconds(delta_s);
+  return p;
+}
+
+TEST(RollbackModelTest, DirtyFractionLimits) {
+  EXPECT_NEAR(dirty_fraction(params(1e-3, 1e-3)), 0.5, 1e-12);
+  EXPECT_LT(dirty_fraction(params(1e-6, 1.0)), 1e-5);
+  EXPECT_GT(dirty_fraction(params(1.0, 1e-6)), 0.999);
+}
+
+TEST(RollbackModelTest, CoordinatedApproachesHalfIntervalWhenCleanDominates) {
+  // Contamination rare, validations fast: E[Dco] -> Delta/2.
+  const double dco = expected_rollback_coordinated(params(1e-6, 1.0, 60));
+  EXPECT_NEAR(dco, 30.0, 0.1);
+}
+
+TEST(RollbackModelTest, CoordinatedGrowsWithDirtyAge) {
+  const double fast = expected_rollback_coordinated(params(1e-3, 1.0));
+  const double slow = expected_rollback_coordinated(params(1e-3, 1e-2));
+  EXPECT_GT(slow, fast);
+}
+
+TEST(RollbackModelTest, WriteThroughTracksRenewalAge) {
+  // Contamination rare relative to validations: age ~ 1/lambda_dirty.
+  const double dwt = expected_rollback_write_through(params(1e-3, 1e-1));
+  EXPECT_NEAR(dwt, 1000.0, 20.0);
+}
+
+TEST(RollbackModelTest, WriteThroughEqualRatesClosedForm) {
+  // ld = lv = L: E[X^2]/(2 E[X]) with X = sum of two Exp(L) = 1.5/L.
+  const double dwt = expected_rollback_write_through(params(0.01, 0.01));
+  EXPECT_NEAR(dwt, 150.0, 1e-6);
+}
+
+TEST(RollbackModelTest, CoordinationWinsInThePaperRegime) {
+  for (double rate = 60; rate <= 200; rate += 20) {
+    const auto p = params(rate / 100'000.0, 0.05, 60);
+    EXPECT_GT(expected_rollback_write_through(p),
+              5 * expected_rollback_coordinated(p))
+        << "rate " << rate;
+  }
+}
+
+TEST(RollbackModelTest, MonotoneInInternalRate) {
+  // E[Dwt] declines as contamination (and with it validation episodes)
+  // become more frequent.
+  double prev = 1e18;
+  for (double rate = 60; rate <= 200; rate += 20) {
+    const double dwt =
+        expected_rollback_write_through(params(rate / 100'000.0, 0.05));
+    EXPECT_LT(dwt, prev);
+    prev = dwt;
+  }
+}
+
+}  // namespace
+}  // namespace synergy

@@ -1,0 +1,186 @@
+// Property-based sweeps: randomized workloads, fault schedules and seeds;
+// the paper's theorems — validity-concerned consistency and
+// recoverability after every recovery — as invariants.
+#include <gtest/gtest.h>
+
+#include "analysis/checkers.hpp"
+#include "core/system.hpp"
+
+namespace synergy {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t seed;
+  double internal_rate;
+  double external_rate;
+};
+
+class RecoveryProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+SystemConfig property_config(const PropertyCase& pc) {
+  SystemConfig c;
+  c.scheme = Scheme::kCoordinated;  // corrected gate/tracking defaults
+  c.seed = pc.seed;
+  c.workload.p1_internal_rate = pc.internal_rate;
+  c.workload.p2_internal_rate = pc.internal_rate;
+  c.workload.p1_external_rate = pc.external_rate;
+  c.workload.p2_external_rate = pc.external_rate;
+  c.workload.step_rate = pc.internal_rate;
+  c.tb.interval = Duration::seconds(10);
+  c.repair_latency = Duration::seconds(1);
+  return c;
+}
+
+TEST_P(RecoveryProperty, StableLineAlwaysConsistentAndRecoverable) {
+  const PropertyCase pc = GetParam();
+  System system(property_config(pc));
+  system.start(TimePoint::origin() + Duration::seconds(300));
+  system.run();
+  const GlobalState line = system.stable_line_state();
+  for (const auto& v : check_consistency(line)) {
+    ADD_FAILURE() << "seed " << pc.seed << ": " << v.describe();
+  }
+  for (const auto& v : check_recoverability(line)) {
+    ADD_FAILURE() << "seed " << pc.seed << ": " << v.describe();
+  }
+  EXPECT_TRUE(check_software_recoverability(line).empty());
+}
+
+TEST_P(RecoveryProperty, HardwareRecoveryPreservesProperties) {
+  const PropertyCase pc = GetParam();
+  SystemConfig c = property_config(pc);
+  System system(c);
+  Rng rng(pc.seed * 31 + 7);
+  system.start(TimePoint::origin() + Duration::seconds(400));
+  const TimePoint fault =
+      TimePoint::origin() +
+      rng.uniform(Duration::seconds(50), Duration::seconds(300));
+  system.schedule_hw_fault(
+      fault, NodeId{static_cast<std::uint32_t>(rng.uniform_int(0, 2))});
+  system.run();
+  ASSERT_EQ(system.hw_recoveries().size(), 1u);
+
+  // The paper's properties are stated over recovery lines: audit the
+  // stable line the recovery restored from (live views may transiently
+  // disagree while a validation is in flight — that is inherent).
+  const GlobalState line = system.stable_line_state();
+  for (const auto& v : check_consistency(line)) {
+    ADD_FAILURE() << "seed " << pc.seed << ": " << v.describe();
+  }
+  for (const auto& v : check_recoverability(line)) {
+    ADD_FAILURE() << "seed " << pc.seed << ": " << v.describe();
+  }
+  for (bool dirty : system.hw_recoveries()[0].restored_dirty) {
+    EXPECT_FALSE(dirty);
+  }
+}
+
+TEST_P(RecoveryProperty, CombinedFaultsEndClean) {
+  const PropertyCase pc = GetParam();
+  SystemConfig c = property_config(pc);
+  c.sw_fault.activation_per_send = 0.002;  // natural design-fault arrivals
+  System system(c);
+  Rng rng(pc.seed * 77 + 3);
+  system.start(TimePoint::origin() + Duration::seconds(400));
+  system.schedule_hw_fault(
+      TimePoint::origin() +
+          rng.uniform(Duration::seconds(50), Duration::seconds(200)),
+      NodeId{static_cast<std::uint32_t>(rng.uniform_int(0, 2))});
+  system.run();
+
+  // Whatever combination of faults occurred, the stable recovery line
+  // satisfies the properties, and (coverage = 1) no tainted state or
+  // device output survives a completed software recovery.
+  const GlobalState line = system.stable_line_state();
+  for (const auto& v : check_consistency(line)) {
+    ADD_FAILURE() << "seed " << pc.seed << ": " << v.describe();
+  }
+  for (const auto& v : check_recoverability(line)) {
+    ADD_FAILURE() << "seed " << pc.seed << ": " << v.describe();
+  }
+  const GlobalState live = system.live_state();
+  for (const auto& e : system.device().entries) {
+    EXPECT_FALSE(e.tainted) << "tainted external output, seed " << pc.seed;
+  }
+  if (system.sw_recovery().has_value()) {
+    for (const auto& p : live.processes) {
+      EXPECT_FALSE(p.app_tainted) << "seed " << pc.seed;
+    }
+  }
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  const double internal_rates[] = {0.5, 2.0, 8.0};
+  const double external_rates[] = {0.05, 0.5};
+  std::uint64_t seed = 1;
+  for (double ir : internal_rates) {
+    for (double er : external_rates) {
+      for (int rep = 0; rep < 4; ++rep) {
+        cases.push_back(PropertyCase{seed++, ir, er});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryProperty, ::testing::ValuesIn(property_cases()),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      const auto& pc = info.param;
+      return "seed" + std::to_string(pc.seed) + "_ir" +
+             std::to_string(static_cast<int>(pc.internal_rate * 10)) +
+             "_er" + std::to_string(static_cast<int>(pc.external_rate * 100));
+    });
+
+// ---------------------------------------------------------------------------
+// Characterization of the paper-faithful algorithms: the equality Ndc gate
+// and raw dirty-bit tracking admit recovery-line splits that the property
+// sweeps above (corrected modes) never exhibit. This documents the gap the
+// reproduction uncovered; the gate/tracking ablation bench quantifies it.
+// ---------------------------------------------------------------------------
+TEST(PaperFidelityTest, PaperModesCanSplitTheRecoveryLine) {
+  // Sample the stable recovery line after every checkpoint interval: a
+  // single end-of-run snapshot is too coarse to catch the race reliably.
+  auto violations_for = [](bool corrected, std::uint64_t seed) {
+    SystemConfig c;
+    c.scheme = Scheme::kCoordinated;
+    c.gate_mode =
+        corrected ? NdcGateMode::kBlockingAware : NdcGateMode::kPaper;
+    c.tracking = corrected ? ContaminationTracking::kWatermark
+                           : ContaminationTracking::kPaperDirtyBit;
+    c.seed = seed;
+    c.workload.p1_internal_rate = 8.0;
+    c.workload.p2_internal_rate = 8.0;
+    c.workload.p1_external_rate = 0.5;
+    c.workload.p2_external_rate = 0.5;
+    c.tb.interval = Duration::seconds(10);
+    System system(c);
+    system.start(TimePoint::origin() + Duration::seconds(300));
+    std::size_t violations = 0;
+    for (int s = 15; s < 300; s += 10) {
+      system.sim().schedule_at(
+          TimePoint::origin() + Duration::seconds(s), [&system, &violations] {
+            const GlobalState line = system.stable_line_state();
+            violations += check_consistency(line).size() +
+                          check_recoverability(line).size();
+          });
+    }
+    system.run();
+    return violations;
+  };
+
+  std::size_t paper_violations = 0;
+  std::size_t corrected_violations = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    paper_violations += violations_for(false, seed);
+    corrected_violations += violations_for(true, seed);
+  }
+  EXPECT_EQ(corrected_violations, 0u);
+  EXPECT_GT(paper_violations, 0u)
+      << "expected the paper-faithful modes to exhibit the documented "
+         "recovery-line race on at least one seed";
+}
+
+}  // namespace
+}  // namespace synergy

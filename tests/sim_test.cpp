@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace synergy {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint{30}, [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint{10}, [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint{20}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{30});
+}
+
+TEST(SimulatorTest, FifoAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(TimePoint{100}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimePoint fired;
+  sim.schedule_at(TimePoint{50}, [&] {
+    sim.schedule_after(Duration{25}, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint{75});
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.schedule_at(TimePoint{10}, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint{10}, [&] { ++fired; });
+  sim.schedule_at(TimePoint{100}, [&] { ++fired; });
+  sim.run_until(TimePoint{50});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint{50});
+  sim.run_until(TimePoint{200});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeWhenIdle) {
+  Simulator sim;
+  sim.run_until(TimePoint{1000});
+  EXPECT_EQ(sim.now(), TimePoint{1000});
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sim.schedule_after(Duration{5}, chain);
+  };
+  sim.schedule_at(TimePoint{0}, chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), TimePoint{45});
+}
+
+TEST(SimulatorTest, PendingCountsNonCancelled) {
+  Simulator sim;
+  auto h1 = sim.schedule_at(TimePoint{10}, [] {});
+  sim.schedule_at(TimePoint{20}, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(h1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(TimePoint{1}, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace synergy

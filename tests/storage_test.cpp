@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "storage/stable_store.hpp"
+#include "storage/volatile_store.hpp"
+
+namespace synergy {
+namespace {
+
+CheckpointRecord sample_record(std::uint64_t ndc = 1) {
+  CheckpointRecord rec;
+  rec.kind = CkptKind::kStable;
+  rec.owner = kP2;
+  rec.established_at = TimePoint{1000};
+  rec.state_time = TimePoint{900};
+  rec.dirty_bit = true;
+  rec.ndc = ndc;
+  rec.app_state = Bytes{1, 2, 3};
+  rec.protocol_state = Bytes{4, 5};
+  rec.transport_state = Bytes{6};
+  Message m;
+  m.sender = kP2;
+  m.receiver = kP1Sdw;
+  m.transport_seq = 9;
+  rec.unacked.push_back(m);
+  return rec;
+}
+
+TEST(CheckpointTest, SerializationRoundTrip) {
+  const CheckpointRecord rec = sample_record();
+  ByteWriter w;
+  rec.serialize(w);
+  ByteReader r(w.data());
+  const CheckpointRecord back = CheckpointRecord::deserialize(r);
+  EXPECT_EQ(back.kind, rec.kind);
+  EXPECT_EQ(back.owner, rec.owner);
+  EXPECT_EQ(back.established_at, rec.established_at);
+  EXPECT_EQ(back.state_time, rec.state_time);
+  EXPECT_EQ(back.dirty_bit, rec.dirty_bit);
+  EXPECT_EQ(back.ndc, rec.ndc);
+  EXPECT_EQ(back.app_state, rec.app_state);
+  EXPECT_EQ(back.protocol_state, rec.protocol_state);
+  EXPECT_EQ(back.transport_state, rec.transport_state);
+  ASSERT_EQ(back.unacked.size(), 1u);
+  EXPECT_EQ(back.unacked[0].transport_seq, 9u);
+}
+
+TEST(VolatileStoreTest, KeepsOnlyLatest) {
+  VolatileStore store;
+  EXPECT_FALSE(store.latest().has_value());
+  store.save(sample_record(1));
+  store.save(sample_record(2));
+  ASSERT_TRUE(store.latest().has_value());
+  EXPECT_EQ(store.latest()->ndc, 2u);
+  EXPECT_EQ(store.saves(), 2u);
+}
+
+TEST(VolatileStoreTest, CrashErasesContents) {
+  VolatileStore store;
+  store.save(sample_record());
+  store.crash_erase();
+  EXPECT_FALSE(store.latest().has_value());
+}
+
+class StableStoreFixture : public ::testing::Test {
+ protected:
+  StableStoreFixture() : store_(sim_, params()) {}
+  static StableStoreParams params() {
+    StableStoreParams p;
+    p.write_base_latency = Duration::millis(10);
+    p.write_per_kib = Duration::zero();
+    return p;
+  }
+  Simulator sim_;
+  StableStore store_;
+};
+
+TEST_F(StableStoreFixture, WriteCommitsAfterLatency) {
+  bool committed = false;
+  store_.begin_write(sample_record(),
+                     [&](const CheckpointRecord&) { committed = true; });
+  EXPECT_TRUE(store_.write_in_progress());
+  EXPECT_FALSE(store_.latest_committed().has_value());
+  sim_.run();
+  EXPECT_TRUE(committed);
+  EXPECT_FALSE(store_.write_in_progress());
+  ASSERT_TRUE(store_.latest_committed().has_value());
+  EXPECT_EQ(store_.latest_committed()->ndc, 1u);
+  EXPECT_EQ(sim_.now(), TimePoint{10'000});
+}
+
+TEST_F(StableStoreFixture, ReplaceInProgressSwapsContents) {
+  store_.begin_write(sample_record(1));
+  sim_.run_until(TimePoint{5'000});
+  store_.replace_in_progress(sample_record(2));
+  sim_.run();
+  ASSERT_TRUE(store_.latest_committed().has_value());
+  EXPECT_EQ(store_.latest_committed()->ndc, 2u);
+  EXPECT_EQ(store_.aborts(), 1u);
+  EXPECT_EQ(store_.commits(), 1u);
+  // Replacement restarts the write latency.
+  EXPECT_EQ(sim_.now(), TimePoint{15'000});
+}
+
+TEST_F(StableStoreFixture, CrashLosesInProgressKeepsCommitted) {
+  store_.begin_write(sample_record(1));
+  sim_.run();
+  store_.begin_write(sample_record(2));
+  sim_.run_until(sim_.now() + Duration::millis(5));
+  store_.crash_abort_in_progress();
+  sim_.run();
+  ASSERT_TRUE(store_.latest_committed().has_value());
+  EXPECT_EQ(store_.latest_committed()->ndc, 1u);
+}
+
+TEST_F(StableStoreFixture, CommitNowIsSynchronous) {
+  store_.begin_write(sample_record(1));
+  store_.commit_now(sample_record(7));
+  EXPECT_FALSE(store_.write_in_progress());
+  ASSERT_TRUE(store_.latest_committed().has_value());
+  EXPECT_EQ(store_.latest_committed()->ndc, 7u);
+}
+
+TEST_F(StableStoreFixture, CommittedSurvivesAsBytes) {
+  // latest_committed decodes from the persisted byte blob every time:
+  // mutating the returned record must not affect the store.
+  store_.commit_now(sample_record(3));
+  auto rec = store_.latest_committed();
+  rec->ndc = 999;
+  EXPECT_EQ(store_.latest_committed()->ndc, 3u);
+}
+
+TEST(StableStoreLatencyTest, PerKibLatencyScalesWithSize) {
+  Simulator sim;
+  StableStoreParams p;
+  p.write_base_latency = Duration::zero();
+  p.write_per_kib = Duration::millis(1);
+  StableStore store(sim, p);
+  CheckpointRecord rec = sample_record();
+  rec.app_state = Bytes(4096, 0xAA);
+  const Duration latency = store.write_latency_for(rec);
+  EXPECT_GE(latency, Duration::millis(4));
+  EXPECT_LE(latency, Duration::millis(6));
+}
+
+}  // namespace
+}  // namespace synergy

@@ -1,0 +1,203 @@
+// Software error recovery: detection, takeover, local rollback /
+// roll-forward decisions, replay beyond VR, and post-recovery guarantees.
+#include <gtest/gtest.h>
+
+#include "analysis/checkers.hpp"
+#include "core/system.hpp"
+
+namespace synergy {
+namespace {
+
+SystemConfig sw_config(std::uint64_t seed = 1,
+                       Scheme scheme = Scheme::kCoordinated) {
+  SystemConfig c;
+  c.scheme = scheme;
+  c.seed = seed;
+  c.workload = WorkloadParams{0, 0, 0, 0, 0};
+  c.tb.interval = Duration::seconds(1'000);
+  return c;
+}
+
+class SwRecoveryFixture : public ::testing::Test {
+ protected:
+  void build(std::uint64_t seed = 1, Scheme scheme = Scheme::kCoordinated) {
+    system_ = std::make_unique<System>(sw_config(seed, scheme));
+    system_->start(TimePoint::origin() + Duration::seconds(100'000));
+  }
+  void c1_send(bool external, std::uint64_t input = 1) {
+    system_->p1act().on_app_send(external, input);
+    system_->p1sdw().on_app_send(external, input);
+  }
+  void settle() {
+    system_->run_until(system_->sim().now() + Duration::seconds(1));
+  }
+  std::unique_ptr<System> system_;
+};
+
+TEST_F(SwRecoveryFixture, AtFailureTriggersTakeover) {
+  build();
+  system_->node(kP1Act).app().corrupt(1234);
+  c1_send(true);  // tainted external -> AT fails (coverage = 1)
+  EXPECT_EQ(system_->at_failures_observed(), 1u);
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  EXPECT_EQ(system_->sw_recovery()->detector, kP1Act);
+  EXPECT_FALSE(system_->p1act().alive());
+  EXPECT_TRUE(system_->p1sdw().active());
+  EXPECT_TRUE(system_->node(kP1Act).retired());
+  EXPECT_EQ(system_->trace().count(TraceKind::kTakeover, kP1Sdw), 1u);
+}
+
+TEST_F(SwRecoveryFixture, CleanProcessesRollForward) {
+  build();
+  // No internal traffic: P2 and P1sdw are clean when the error hits.
+  system_->node(kP1Act).app().corrupt(7);
+  c1_send(true);
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  EXPECT_FALSE(system_->sw_recovery()->p2_rolled_back);
+  EXPECT_FALSE(system_->sw_recovery()->p1sdw_rolled_back);
+  EXPECT_EQ(system_->trace().count(TraceKind::kRollForward), 2u);
+}
+
+TEST_F(SwRecoveryFixture, DirtyP2RollsBackToCleanState) {
+  build();
+  // Contaminate: tainted internal message reaches P2.
+  system_->node(kP1Act).app().corrupt(55);
+  c1_send(false);
+  settle();
+  ASSERT_TRUE(system_->p2().dirty());
+  ASSERT_TRUE(system_->node(kP2).app().tainted());
+
+  system_->schedule_sw_error(system_->sim().now() + Duration::seconds(1));
+  settle();
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  EXPECT_TRUE(system_->sw_recovery()->p2_rolled_back);
+  EXPECT_GT(system_->sw_recovery()->p2_rollback_distance, Duration::zero());
+  // Rollback restored the pre-contamination state: taint gone, dirty gone.
+  EXPECT_FALSE(system_->p2().dirty());
+  EXPECT_FALSE(system_->node(kP2).app().tainted());
+}
+
+TEST_F(SwRecoveryFixture, ReplayResendsOnlyBeyondVr) {
+  build();
+  c1_send(true);   // sn 1 validated -> VR = 1
+  settle();
+  c1_send(false);  // sn 2
+  c1_send(false);  // sn 3
+  settle();
+  // Trigger the error via P2's AT (its state is contaminated by sn 2/3
+  // which carried taint? they are not tainted — force taint instead).
+  system_->node(kP1Act).app().corrupt(3);
+  c1_send(true);  // AT failure at P1act
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  // P1sdw replayed its high-confidence versions of sn 2 and 3 (and of the
+  // failed send, which its copy also logged as sn 4 before takeover —
+  // takeover happens synchronously inside P1act's send, before P1sdw's
+  // mirrored send, so only 2 and 3 are in its log).
+  EXPECT_EQ(system_->sw_recovery()->replayed_messages, 2u);
+  settle();
+  // P2 consumed the replacements as clean messages.
+  EXPECT_FALSE(system_->p2().dirty());
+}
+
+TEST_F(SwRecoveryFixture, PostRecoveryStateSatisfiesProperties) {
+  build(21);
+  system_->node(kP1Act).app().corrupt(9);
+  c1_send(false);
+  settle();
+  system_->schedule_sw_error(system_->sim().now() + Duration::seconds(1));
+  settle();
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  settle();
+
+  const GlobalState live = system_->live_state();
+  ASSERT_EQ(live.processes.size(), 2u);  // P1act retired
+  const auto consistency = check_consistency(live);
+  EXPECT_TRUE(consistency.empty()) << consistency.front().describe();
+  const auto recover = check_recoverability(live);
+  EXPECT_TRUE(recover.empty()) << recover.front().describe();
+  // MDCD on leave: everyone clean; no taint anywhere (coverage = 1).
+  for (const auto& p : live.processes) {
+    EXPECT_FALSE(p.dirty);
+    EXPECT_FALSE(p.app_tainted);
+  }
+}
+
+TEST_F(SwRecoveryFixture, GuardedModeEndsAfterRecovery) {
+  build();
+  system_->node(kP1Act).app().corrupt(5);
+  c1_send(true);
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  settle();
+  EXPECT_FALSE(system_->p1sdw().guarded());
+  EXPECT_FALSE(system_->p2().guarded());
+  // Post-takeover sends from the shadow are clean-flagged and reach P2.
+  const auto before = system_->trace().count(TraceKind::kDeliverApp, kP2);
+  system_->p1sdw().on_app_send(/*external=*/false, 8);
+  settle();
+  EXPECT_EQ(system_->trace().count(TraceKind::kDeliverApp, kP2), before + 1);
+  EXPECT_FALSE(system_->p2().dirty());
+}
+
+TEST_F(SwRecoveryFixture, ActiveShadowSendsExternalsToDevice) {
+  build();
+  system_->node(kP1Act).app().corrupt(5);
+  c1_send(true);
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  settle();
+  const auto before = system_->device().entries.size();
+  system_->p1sdw().on_app_send(/*external=*/true, 3);
+  settle();
+  ASSERT_EQ(system_->device().entries.size(), before + 1);
+  EXPECT_EQ(system_->device().entries.back().from, kP1Sdw);
+  EXPECT_FALSE(system_->device().entries.back().tainted);
+}
+
+TEST_F(SwRecoveryFixture, DeviceNeverReceivedTaintedOutput) {
+  build(31);
+  system_->node(kP1Act).app().corrupt(11);
+  c1_send(false);
+  settle();
+  c1_send(true);  // AT catches the tainted external
+  settle();
+  for (const auto& e : system_->device().entries) {
+    EXPECT_FALSE(e.tainted);
+  }
+}
+
+TEST_F(SwRecoveryFixture, StaleDirtyMessagesFencedAfterRecovery) {
+  build(41);
+  system_->node(kP1Act).app().corrupt(13);
+  c1_send(false);  // in flight toward P2 when recovery runs
+  // Trigger recovery immediately: the internal message is still in
+  // transit (delivery takes >= tmin).
+  system_->node(kP1Act).app().corrupt(14);
+  c1_send(true);
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  settle();
+  // The stale dirty message must not contaminate the post-recovery world.
+  EXPECT_FALSE(system_->p2().dirty());
+  EXPECT_FALSE(system_->node(kP2).app().tainted());
+  EXPECT_GE(system_->trace().count(TraceKind::kStaleDrop, kP2), 1u);
+}
+
+TEST_F(SwRecoveryFixture, SecondAtFailureIsRecordedNotRecovered) {
+  build();
+  system_->node(kP1Act).app().corrupt(1);
+  c1_send(true);
+  ASSERT_TRUE(system_->sw_recovery().has_value());
+  settle();
+  // Now the shadow is active; force a failure through its own AT.
+  system_->node(kP1Sdw).app().corrupt(2);
+  // Make it dirty so its external send runs the AT.
+  // (A clean active process skips the AT; emulate contamination.)
+  system_->p2().on_app_send(false, 1);
+  settle();
+  const auto failures = system_->at_failures_observed();
+  system_->p1sdw().on_app_send(true, 1);
+  EXPECT_GE(system_->at_failures_observed(), failures);
+  // No crash, no second takeover.
+  EXPECT_TRUE(system_->p1sdw().active());
+}
+
+}  // namespace
+}  // namespace synergy

@@ -1,0 +1,223 @@
+// TB checkpointing behaviour: timer-driven stable writes, content
+// selection, blocking periods, abort-and-replace (the paper's Figure 5 and
+// Figure 6 cases), and resynchronization requests.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace synergy {
+namespace {
+
+SystemConfig tb_config(Scheme scheme, std::uint64_t seed = 1) {
+  SystemConfig c;
+  c.scheme = scheme;
+  c.seed = seed;
+  c.workload = WorkloadParams{0, 0, 0, 0, 0};
+  c.tb.interval = Duration::seconds(10);
+  c.sstore.write_base_latency = Duration::millis(2);
+  return c;
+}
+
+class TbFixture : public ::testing::Test {
+ protected:
+  void build(Scheme scheme, std::uint64_t seed = 1,
+             SystemConfig (*mk)(Scheme, std::uint64_t) = tb_config) {
+    system_ = std::make_unique<System>(mk(scheme, seed));
+    system_->start(TimePoint::origin() + Duration::seconds(1'000'000));
+  }
+
+  void c1_send(bool external, std::uint64_t input = 1) {
+    system_->p1act().on_app_send(external, input);
+    system_->p1sdw().on_app_send(external, input);
+  }
+
+  /// Run until the given node's TB engine enters a blocking period.
+  bool run_until_blocking(ProcessId p, Duration limit) {
+    const TimePoint deadline = system_->sim().now() + limit;
+    while (system_->sim().now() < deadline) {
+      if (system_->node(p).tb()->blocking_active()) return true;
+      if (!system_->sim().step()) return false;
+    }
+    return system_->node(p).tb()->blocking_active();
+  }
+
+  std::unique_ptr<System> system_;
+};
+
+TEST_F(TbFixture, TimersDriveCheckpointsEveryInterval) {
+  build(Scheme::kCoordinated);
+  system_->run_until(TimePoint::origin() + Duration::seconds(95));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    TbEngine* tb = system_->node(ProcessId{i}).tb();
+    EXPECT_EQ(tb->checkpoints_taken(), 9u);
+    EXPECT_EQ(tb->ndc(), 9u);
+    EXPECT_GE(system_->node(ProcessId{i}).sstore().commits(), 9u);
+  }
+}
+
+TEST_F(TbFixture, CleanExpirySavesCurrentState) {
+  build(Scheme::kCoordinated);
+  system_->run_until(TimePoint::origin() + Duration::seconds(15));
+  TbEngine* tb = system_->node(kP2).tb();
+  EXPECT_EQ(tb->current_contents(), 1u);
+  EXPECT_EQ(tb->copy_contents(), 0u);
+  const auto rec = system_->node(kP2).sstore().latest_committed();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->dirty_bit);
+  // Current-state contents: established within the first interval.
+  EXPECT_GE(rec->state_time, TimePoint::origin() + Duration::seconds(9));
+}
+
+TEST_F(TbFixture, DirtyExpiryCopiesVolatileCheckpoint) {
+  build(Scheme::kCoordinated);
+  // Contaminate P2 at ~2s, well before its first expiry at ~10s.
+  system_->run_until(TimePoint::origin() + Duration::seconds(2));
+  c1_send(false);
+  system_->run_until(TimePoint::origin() + Duration::seconds(15));
+
+  TbEngine* tb = system_->node(kP2).tb();
+  EXPECT_EQ(tb->copy_contents(), 1u);
+  const auto rec = system_->node(kP2).sstore().latest_committed();
+  ASSERT_TRUE(rec.has_value());
+  // The copied volatile checkpoint reflects the pre-contamination state.
+  EXPECT_FALSE(rec->dirty_bit);
+  EXPECT_LE(rec->state_time, TimePoint::origin() + Duration::seconds(3));
+}
+
+TEST_F(TbFixture, P1ActUsesPseudoDirtyBitForContents) {
+  build(Scheme::kCoordinated);
+  system_->run_until(TimePoint::origin() + Duration::seconds(2));
+  c1_send(false);  // sets pseudo_dirty, pseudo checkpoint
+  system_->run_until(TimePoint::origin() + Duration::seconds(15));
+  TbEngine* tb = system_->node(kP1Act).tb();
+  EXPECT_EQ(tb->copy_contents(), 1u);
+  const auto rec = system_->node(kP1Act).sstore().latest_committed();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_LE(rec->state_time, TimePoint::origin() + Duration::seconds(3));
+}
+
+TEST_F(TbFixture, BlockingPeriodAdaptsToContamination) {
+  build(Scheme::kCoordinated);
+  TbEngine* tb = system_->node(kP2).tb();
+  const Duration clean = tb->blocking_period(false);
+  const Duration dirty = tb->blocking_period(true);
+  // tau(1) - tau(0) = tmax + tmin (Table 1).
+  EXPECT_EQ(dirty - clean,
+            system_->config().net.tmax + system_->config().net.tmin);
+}
+
+TEST_F(TbFixture, OriginalVariantUsesOneBlockingFormula) {
+  build(Scheme::kNaive);
+  TbEngine* tb = system_->node(kP2).tb();
+  EXPECT_EQ(tb->blocking_period(false), tb->blocking_period(true));
+}
+
+TEST_F(TbFixture, AbortAndReplaceOnValidationDuringBlocking) {
+  build(Scheme::kCoordinated);
+  system_->run_until(TimePoint::origin() + Duration::seconds(2));
+  c1_send(false);  // P2 dirty
+  ASSERT_TRUE(run_until_blocking(kP2, Duration::seconds(12)));
+  TbEngine* tb = system_->node(kP2).tb();
+  ASSERT_TRUE(system_->p2().dirty());
+  ASSERT_EQ(tb->copy_contents(), 1u);
+
+  // A passed-AT notification arrives inside the blocking period from a
+  // peer that has not reached its own timer expiry yet: it piggybacks the
+  // previous Ndc, which the blocking-aware gate accepts (deterministic
+  // hand delivery).
+  Message note;
+  note.kind = MsgKind::kPassedAt;
+  note.sender = kP1Act;
+  note.receiver = kP2;
+  note.transport_seq = 999'100;
+  note.sn = system_->p2().p1act_sn_seen();
+  note.ndc = tb->ndc() - 1;
+  system_->p2().on_message(note);
+
+  EXPECT_FALSE(system_->p2().dirty());
+  EXPECT_EQ(tb->replacements(), 1u);
+  EXPECT_EQ(system_->trace().count(TraceKind::kStableReplace, kP2), 1u);
+
+  system_->run_until(system_->sim().now() + Duration::seconds(1));
+  const auto rec = system_->node(kP2).sstore().latest_committed();
+  ASSERT_TRUE(rec.has_value());
+  // Replaced contents: the current (validated) state, not the old copy.
+  EXPECT_GE(rec->state_time, TimePoint::origin() + Duration::seconds(9));
+}
+
+TEST_F(TbFixture, PassedAtMonitoredDuringBlockingOnlyInAdaptedVariant) {
+  build(Scheme::kNaive);
+  system_->run_until(TimePoint::origin() + Duration::seconds(2));
+  c1_send(false);
+  ASSERT_TRUE(run_until_blocking(kP2, Duration::seconds(12)));
+  ASSERT_TRUE(system_->p2().dirty());
+
+  Message note;
+  note.kind = MsgKind::kPassedAt;
+  note.sender = kP1Act;
+  note.receiver = kP2;
+  note.transport_seq = 999'200;
+  note.sn = 1;
+  system_->p2().on_message(note);
+  // Original protocol blocks ALL messages: the notification is held, the
+  // dirty bit unchanged until the blocking period ends.
+  EXPECT_TRUE(system_->p2().dirty());
+  EXPECT_GE(system_->trace().count(TraceKind::kHoldBlocked, kP2), 1u);
+  system_->run_until(system_->sim().now() + Duration::seconds(1));
+  EXPECT_FALSE(system_->p2().dirty());
+}
+
+TEST_F(TbFixture, ApplicationMessagesHeldDuringBlocking) {
+  build(Scheme::kCoordinated);
+  ASSERT_TRUE(run_until_blocking(kP2, Duration::seconds(12)));
+  const std::size_t delivered_before =
+      system_->trace().count(TraceKind::kDeliverApp, kP2);
+  c1_send(false);
+  // Delivery may be in flight; drive simulator only to just past tmax
+  // while still within the blocking period... the message must be held.
+  Message direct;
+  direct.kind = MsgKind::kInternal;
+  direct.sender = kP1Act;
+  direct.receiver = kP2;
+  direct.transport_seq = 999'300;
+  direct.sn = 50;
+  direct.dirty = true;
+  system_->p2().on_message(direct);
+  EXPECT_EQ(system_->trace().count(TraceKind::kDeliverApp, kP2),
+            delivered_before);
+  EXPECT_GE(system_->trace().count(TraceKind::kHoldBlocked, kP2), 1u);
+  // After the blocking period ends, held messages are consumed.
+  system_->run_until(system_->sim().now() + Duration::seconds(1));
+  EXPECT_GT(system_->trace().count(TraceKind::kDeliverApp, kP2),
+            delivered_before);
+}
+
+TEST_F(TbFixture, ResyncRequestedWhenDeviationBoundGrows) {
+  SystemConfig c = tb_config(Scheme::kCoordinated, 2);
+  c.clock.rho = 2e-4;  // fast drift: bound grows quickly
+  c.tb.resync_threshold = 0.001;
+  System system(c);
+  system.start(TimePoint::origin() + Duration::seconds(200));
+  system.run();
+  std::uint64_t requests = 0;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    requests += system.node(ProcessId{i}).tb()->resync_requests();
+  }
+  EXPECT_GT(requests, 0u);
+  EXPECT_GT(system.clocks().resync_count(), 0u);
+}
+
+TEST_F(TbFixture, StableRecordSurvivesSerializationThroughStore) {
+  build(Scheme::kCoordinated);
+  system_->run_until(TimePoint::origin() + Duration::seconds(25));
+  const auto rec = system_->node(kP2).sstore().latest_committed();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->owner, kP2);
+  EXPECT_EQ(rec->kind, CkptKind::kStable);
+  EXPECT_GT(rec->ndc, 0u);
+  EXPECT_FALSE(rec->app_state.empty());
+  EXPECT_FALSE(rec->protocol_state.empty());
+}
+
+}  // namespace
+}  // namespace synergy

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "trace/timeline.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+namespace {
+
+TEST(TraceLogTest, RecordAndQuery) {
+  TraceLog log;
+  log.record(TimePoint{10}, kP2, TraceKind::kDirtySet);
+  log.record(TimePoint{20}, kP2, TraceKind::kDirtyClear);
+  log.record(TimePoint{30}, kP1Sdw, TraceKind::kDirtySet);
+  EXPECT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.count(TraceKind::kDirtySet), 2u);
+  EXPECT_EQ(log.count(TraceKind::kDirtySet, kP2), 1u);
+  EXPECT_EQ(log.of_kind(TraceKind::kDirtyClear).size(), 1u);
+  EXPECT_EQ(log.of_process(kP2).size(), 2u);
+}
+
+TEST(TraceLogTest, DumpContainsEventNames) {
+  TraceLog log;
+  log.record(TimePoint{1'000'000}, kP1Act, TraceKind::kAtPass, "external", 3);
+  const std::string dump = log.dump();
+  EXPECT_NE(dump.find("P1act"), std::string::npos);
+  EXPECT_NE(dump.find("at_pass"), std::string::npos);
+  EXPECT_NE(dump.find("external"), std::string::npos);
+}
+
+TEST(TimelineTest, RendersLanesAndMarkers) {
+  TraceLog log;
+  log.record(TimePoint{0}, kP2, TraceKind::kDirtySet);
+  log.record(TimePoint{50}, kP2, TraceKind::kCkptVolatile, "type1");
+  log.record(TimePoint{100}, kP2, TraceKind::kDirtyClear);
+  log.record(TimePoint{100}, kP1Sdw, TraceKind::kAtPass);
+  const std::string out = render_timeline(log, {kP1Sdw, kP2});
+  EXPECT_NE(out.find("P1sdw"), std::string::npos);
+  EXPECT_NE(out.find("P2"), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);  // type-1 marker
+  EXPECT_NE(out.find('A'), std::string::npos);  // AT pass marker
+  EXPECT_NE(out.find('='), std::string::npos);  // dirty interval
+}
+
+TEST(TimelineTest, EmptyTraceHandled) {
+  TraceLog log;
+  EXPECT_EQ(render_timeline(log, {kP2}), "(empty trace)\n");
+}
+
+}  // namespace
+}  // namespace synergy

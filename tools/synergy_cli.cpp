@@ -1,0 +1,299 @@
+// synergy — command-line driver for the simulator.
+//
+//   synergy run   [options]   run one mission and report what happened
+//   synergy sweep [options]   Monte-Carlo rollback-distance sweep (CSV)
+//   synergy model [options]   evaluate the closed-form rollback model
+//
+// Run `synergy help` for the full option list. Examples:
+//
+//   synergy run --scheme coordinated --duration 3600 --hw-fault 1800:2
+//   synergy run --sw-error 900 --timeline
+//   synergy run --scheme naive --seed 7 --check --trace-csv trace.csv
+//   synergy sweep --rates 60,100,140,200 --reps 40 > fig7.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/checkers.hpp"
+#include "analysis/model.hpp"
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "trace/export.hpp"
+#include "trace/timeline.hpp"
+
+using namespace synergy;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::printf(R"(synergy — MDCD + TB fault-tolerance simulator
+
+USAGE
+  synergy run   [options]    run one mission
+  synergy sweep [options]    rollback-distance sweep, CSV on stdout
+  synergy model [options]    closed-form rollback model
+  synergy help
+
+RUN OPTIONS
+  --scheme S          mdcd_only | write_through | naive | coordinated
+                      (default coordinated)
+  --seed N            RNG seed (default 1)
+  --duration SECS     mission length (default 3600)
+  --internal-rate R   component internal msgs/s (default 2.0)
+  --external-rate R   external (validated) msgs/s (default 0.1)
+  --interval SECS     TB checkpoint interval Delta (default 60)
+  --sw-fault-prob P   design-fault activation per send (default 0)
+  --hw-fault T:NODE   crash NODE at T seconds (repeatable)
+  --sw-error T        corrupt P1act at T seconds and force an AT
+  --gate MODE         paper | blocking_aware (default blocking_aware)
+  --tracking MODE     paper_dirty_bit | watermark (default watermark)
+  --check             audit the final stable recovery line
+  --timeline          print the ASCII event timeline
+  --trace-csv FILE    dump the trace as CSV
+  --trace-jsonl FILE  dump the trace as JSON Lines
+
+SWEEP OPTIONS
+  --scheme, --seed, --interval as above (scheme measured against
+  write_through automatically when omitted)
+  --rates A,B,...     internal message rates per 100000 s (default
+                      60,80,...,200)
+  --reps N            replications per point (default 30)
+
+MODEL OPTIONS
+  --lambda-dirty R    contamination rate [1/s]
+  --lambda-valid R    validation rate [1/s]
+  --interval SECS     Delta
+)");
+  std::exit(code);
+}
+
+const char* arg_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", argv[i]);
+    usage(2);
+  }
+  return argv[++i];
+}
+
+Scheme parse_scheme(const std::string& s) {
+  if (s == "mdcd_only") return Scheme::kMdcdOnly;
+  if (s == "write_through") return Scheme::kWriteThrough;
+  if (s == "naive") return Scheme::kNaive;
+  if (s == "coordinated") return Scheme::kCoordinated;
+  std::fprintf(stderr, "unknown scheme: %s\n", s.c_str());
+  usage(2);
+}
+
+struct FaultSpec {
+  double at = 0;
+  std::uint32_t node = 0;
+};
+
+int cmd_run(int argc, char** argv) {
+  SystemConfig config;
+  double duration = 3600;
+  std::vector<FaultSpec> hw_faults;
+  double sw_error_at = -1;
+  bool check = false, timeline = false;
+  std::string trace_csv, trace_jsonl;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--scheme") config.scheme = parse_scheme(arg_value(argc, argv, i));
+    else if (a == "--seed") config.seed = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--duration") duration = std::atof(arg_value(argc, argv, i));
+    else if (a == "--internal-rate") {
+      const double r = std::atof(arg_value(argc, argv, i));
+      config.workload.p1_internal_rate = r;
+      config.workload.p2_internal_rate = r;
+    } else if (a == "--external-rate") {
+      const double r = std::atof(arg_value(argc, argv, i));
+      config.workload.p1_external_rate = r;
+      config.workload.p2_external_rate = r;
+    } else if (a == "--interval") {
+      config.tb.interval = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    } else if (a == "--sw-fault-prob") {
+      config.sw_fault.activation_per_send = std::atof(arg_value(argc, argv, i));
+    } else if (a == "--hw-fault") {
+      const std::string spec = arg_value(argc, argv, i);
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) usage(2);
+      hw_faults.push_back(FaultSpec{
+          std::atof(spec.substr(0, colon).c_str()),
+          static_cast<std::uint32_t>(std::atoi(spec.substr(colon + 1).c_str()))});
+    } else if (a == "--sw-error") {
+      sw_error_at = std::atof(arg_value(argc, argv, i));
+    } else if (a == "--gate") {
+      const std::string m = arg_value(argc, argv, i);
+      config.gate_mode = m == "paper" ? NdcGateMode::kPaper
+                                      : NdcGateMode::kBlockingAware;
+    } else if (a == "--tracking") {
+      const std::string m = arg_value(argc, argv, i);
+      config.tracking = m == "paper_dirty_bit"
+                            ? ContaminationTracking::kPaperDirtyBit
+                            : ContaminationTracking::kWatermark;
+    } else if (a == "--check") check = true;
+    else if (a == "--timeline") timeline = true;
+    else if (a == "--trace-csv") trace_csv = arg_value(argc, argv, i);
+    else if (a == "--trace-jsonl") trace_jsonl = arg_value(argc, argv, i);
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(2);
+    }
+  }
+
+  System system(config);
+  system.start(TimePoint::origin() + Duration::from_seconds(duration));
+  for (const auto& f : hw_faults) {
+    system.schedule_hw_fault(TimePoint::origin() + Duration::from_seconds(f.at),
+                             NodeId{f.node});
+  }
+  if (sw_error_at >= 0) {
+    system.schedule_sw_error(TimePoint::origin() +
+                             Duration::from_seconds(sw_error_at));
+  }
+  system.run();
+
+  std::printf("scheme=%s seed=%llu duration=%.0fs\n",
+              to_string(config.scheme),
+              static_cast<unsigned long long>(config.seed), duration);
+  std::printf("device outputs=%zu  AT failures=%llu\n",
+              system.device().entries.size(),
+              static_cast<unsigned long long>(system.at_failures_observed()));
+  if (const auto& r = system.sw_recovery()) {
+    std::printf("software recovery: detector=%s p1sdw=%s p2=%s replayed=%zu\n",
+                to_string(r->detector).c_str(),
+                r->p1sdw_rolled_back ? "rollback" : "roll-forward",
+                r->p2_rolled_back ? "rollback" : "roll-forward",
+                r->replayed_messages);
+  }
+  for (const auto& rec : system.hw_recoveries()) {
+    std::printf("hardware recovery: node=%u fault_t=%.1fs rollback=",
+                rec.faulty_node.value(), rec.fault_time.to_seconds());
+    for (std::size_t i = 0; i < rec.rollback_distance.size(); ++i) {
+      std::printf("%s%.1fs", i ? "/" : "",
+                  rec.rollback_distance[i].to_seconds());
+    }
+    std::printf(" resent=%zu\n", rec.resent_messages);
+  }
+
+  if (check && config.scheme != Scheme::kMdcdOnly) {
+    const GlobalState line = system.stable_line_state();
+    const auto c = check_consistency(line);
+    const auto r = check_recoverability(line);
+    const auto s = check_software_recoverability(line);
+    std::printf("stable-line audit: consistency=%zu recoverability=%zu "
+                "sw-recoverability=%zu violations\n",
+                c.size(), r.size(), s.size());
+    for (const auto& v : c) std::printf("  C %s\n", v.describe().c_str());
+    for (const auto& v : r) std::printf("  R %s\n", v.describe().c_str());
+    for (const auto& v : s) std::printf("  S %s\n", v.describe().c_str());
+  }
+  if (timeline) {
+    std::printf("%s", render_timeline(system.trace(),
+                                      {kP1Act, kP1Sdw, kP2})
+                          .c_str());
+  }
+  if (!trace_csv.empty()) {
+    std::ofstream out(trace_csv);
+    write_trace_csv(system.trace(), out);
+    std::printf("trace written to %s (%zu events)\n", trace_csv.c_str(),
+                system.trace().events().size());
+  }
+  if (!trace_jsonl.empty()) {
+    std::ofstream out(trace_jsonl);
+    write_trace_jsonl(system.trace(), out);
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  std::vector<double> rates = {60, 80, 100, 120, 140, 160, 180, 200};
+  std::size_t reps = 30;
+  std::uint64_t seed = 42;
+  Duration interval = Duration::seconds(60);
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--rates") {
+      rates.clear();
+      std::string list = arg_value(argc, argv, i);
+      for (std::size_t pos = 0; pos < list.size();) {
+        const auto comma = list.find(',', pos);
+        rates.push_back(std::atof(list.substr(pos, comma - pos).c_str()));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (a == "--reps") {
+      reps = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    } else if (a == "--seed") {
+      seed = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    } else if (a == "--interval") {
+      interval = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(2);
+    }
+  }
+
+  std::printf("rate,scheme,mean_rollback_s,ci95_s,faults\n");
+  for (double rate : rates) {
+    for (Scheme scheme : {Scheme::kCoordinated, Scheme::kWriteThrough}) {
+      RollbackExperimentConfig config;
+      config.base.scheme = scheme;
+      config.base.record_history = false;
+      config.base.workload.p1_internal_rate = rate / 100'000.0;
+      config.base.workload.p2_internal_rate = rate / 100'000.0;
+      config.base.workload.p1_external_rate = 0.0;
+      config.base.workload.p2_external_rate = 0.05;
+      config.base.workload.step_rate = 0.0;
+      config.base.tb.interval = interval;
+      config.horizon = Duration::seconds(100'000);
+      config.fault_earliest = Duration::seconds(20'000);
+      config.fault_latest = Duration::seconds(90'000);
+      config.replications = reps;
+      config.seed0 = seed + static_cast<std::uint64_t>(rate);
+      const auto result = measure_rollback(config);
+      std::printf("%g,%s,%.2f,%.2f,%llu\n", rate, to_string(scheme),
+                  result.overall.mean(), result.overall.ci95_halfwidth(),
+                  static_cast<unsigned long long>(result.faults));
+    }
+  }
+  return 0;
+}
+
+int cmd_model(int argc, char** argv) {
+  RollbackModelParams params;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--lambda-dirty") params.lambda_dirty = std::atof(arg_value(argc, argv, i));
+    else if (a == "--lambda-valid") params.lambda_valid = std::atof(arg_value(argc, argv, i));
+    else if (a == "--interval") params.interval = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    else usage(2);
+  }
+  std::printf("lambda_dirty=%g /s  lambda_valid=%g /s  Delta=%g s\n",
+              params.lambda_dirty, params.lambda_valid,
+              params.interval.to_seconds());
+  std::printf("dirty fraction q     = %.4f\n", dirty_fraction(params));
+  std::printf("E[Dco] (coordinated) = %.2f s\n",
+              expected_rollback_coordinated(params));
+  std::printf("E[Dwt] (write-thru)  = %.2f s\n",
+              expected_rollback_write_through(params));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  const std::string cmd = argv[1];
+  if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
+  if (cmd == "model") return cmd_model(argc, argv);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") usage(0);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  usage(2);
+}
