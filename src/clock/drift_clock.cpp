@@ -36,4 +36,14 @@ void DriftClock::resync(TimePoint true_now, Duration new_offset) {
   anchor_local_ = true_now + new_offset;
 }
 
+void DriftClock::set_drift(TimePoint true_now, double drift) {
+  SYNERGY_EXPECTS(drift > -1.0);
+  SYNERGY_EXPECTS(true_now >= anchor_true_);
+  // Re-anchor at the current reading so the local timeline stays
+  // continuous; only the rate changes.
+  anchor_local_ = local_time(true_now);
+  anchor_true_ = true_now;
+  drift_ = drift;
+}
+
 }  // namespace synergy

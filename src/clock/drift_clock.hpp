@@ -33,6 +33,12 @@ class DriftClock {
   /// property). Models one round of external clock synchronization.
   void resync(TimePoint true_now, Duration new_offset);
 
+  /// Change the drift rate from `true_now` onward, keeping the reading
+  /// continuous at that instant. Models a drift excursion — an oscillator
+  /// leaving its rated bound (temperature, aging, injected fault); the
+  /// protocols' rho assumption is violated while the excursion lasts.
+  void set_drift(TimePoint true_now, double drift);
+
   double drift_rate() const { return drift_; }
   TimePoint last_resync_true_time() const { return anchor_true_; }
 

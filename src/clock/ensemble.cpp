@@ -54,6 +54,10 @@ Duration ClockEnsemble::elapsed_since_resync() const {
 }
 
 void ClockEnsemble::resync_all() {
+  if (resyncs_suppressed_) {
+    ++missed_resyncs_;
+    return;
+  }
   const Duration half = params_.delta / 2;
   for (std::size_t i = 0; i < clocks_.size(); ++i) {
     clocks_[i].resync(sim_.now(), rng_.uniform(-half, half));
@@ -62,6 +66,20 @@ void ClockEnsemble::resync_all() {
   last_resync_ = sim_.now();
   ++resyncs_;
   for (const auto& fn : observers_) fn();
+}
+
+void ClockEnsemble::inject_drift_excursion(ProcessId p, double drift) {
+  SYNERGY_EXPECTS(p.value() < clocks_.size());
+  clocks_[p.value()].set_drift(sim_.now(), drift);
+  timers_[p.value()]->on_clock_adjusted();
+  ++drift_excursions_;
+}
+
+void ClockEnsemble::end_drift_excursion(ProcessId p) {
+  SYNERGY_EXPECTS(p.value() < clocks_.size());
+  clocks_[p.value()].set_drift(sim_.now(),
+                               rng_.uniform(-params_.rho, params_.rho));
+  timers_[p.value()]->on_clock_adjusted();
 }
 
 }  // namespace synergy

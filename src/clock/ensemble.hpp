@@ -53,7 +53,23 @@ class ClockEnsemble {
   /// Performs one resynchronization round now: redraws all offsets within
   /// the delta bound, re-maps all pending local timers, and notifies
   /// observers (the adapted TB protocol resets its eps bookkeeping here).
+  /// While resyncs are suppressed (injected fault: the synchronization
+  /// service is unreachable) the round is counted as missed and nothing
+  /// happens — deviations keep growing past the modelled bound.
   void resync_all();
+
+  // ---- Fault injection (chaos campaigns) ---------------------------------
+  /// Push process `p`'s clock to an out-of-spec drift rate from now on
+  /// (violates the rho assumption until restored).
+  void inject_drift_excursion(ProcessId p, double drift);
+  /// Restore process `p`'s clock to a within-spec drift rate.
+  void end_drift_excursion(ProcessId p);
+  /// Suppress (true) or re-enable (false) resynchronization rounds.
+  void suppress_resyncs(bool suppressed) { resyncs_suppressed_ = suppressed; }
+  bool resyncs_suppressed() const { return resyncs_suppressed_; }
+
+  std::uint64_t missed_resyncs() const { return missed_resyncs_; }
+  std::uint64_t drift_excursions() const { return drift_excursions_; }
 
   /// Register a callback invoked after every resync round.
   void on_resync(std::function<void()> fn) {
@@ -72,6 +88,9 @@ class ClockEnsemble {
   std::vector<std::function<void()>> observers_;
   TimePoint last_resync_;
   std::uint64_t resyncs_ = 0;
+  bool resyncs_suppressed_ = false;
+  std::uint64_t missed_resyncs_ = 0;
+  std::uint64_t drift_excursions_ = 0;
 };
 
 }  // namespace synergy

@@ -1,8 +1,7 @@
 #include "common/serialize.hpp"
 
+#include <array>
 #include <cstring>
-
-#include "common/assert.hpp"
 
 namespace synergy {
 
@@ -38,20 +37,28 @@ void ByteWriter::bytes_raw(const Bytes& b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
+bool ByteReader::require(std::size_t n) {
+  if (failed_ || n > data_.size() - pos_) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
 std::uint8_t ByteReader::u8() {
-  SYNERGY_EXPECTS(pos_ + 1 <= data_.size());
+  if (!require(1)) return 0;
   return data_[pos_++];
 }
 
 std::uint32_t ByteReader::u32() {
-  SYNERGY_EXPECTS(pos_ + 4 <= data_.size());
+  if (!require(4)) return 0;
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
   return v;
 }
 
 std::uint64_t ByteReader::u64() {
-  SYNERGY_EXPECTS(pos_ + 8 <= data_.size());
+  if (!require(8)) return 0;
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
   return v;
@@ -68,7 +75,7 @@ double ByteReader::f64() {
 
 std::string ByteReader::str() {
   const std::uint32_t n = u32();
-  SYNERGY_EXPECTS(pos_ + n <= data_.size());
+  if (!require(n)) return {};
   std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
   pos_ += n;
   return s;
@@ -76,7 +83,7 @@ std::string ByteReader::str() {
 
 Bytes ByteReader::bytes() {
   const std::uint32_t n = u32();
-  SYNERGY_EXPECTS(pos_ + n <= data_.size());
+  if (!require(n)) return {};
   Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
           data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
@@ -84,6 +91,7 @@ Bytes ByteReader::bytes() {
 }
 
 Bytes ByteReader::rest() {
+  if (failed_) return {};
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
   pos_ = data_.size();
   return out;
@@ -97,5 +105,32 @@ std::uint64_t fingerprint(const Bytes& data) {
   }
   return h;
 }
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const Bytes& data) { return crc32(data.data(), data.size()); }
 
 }  // namespace synergy

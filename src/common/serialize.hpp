@@ -35,8 +35,11 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
-/// Reads primitive values back; hard-fails (contract violation) on
-/// truncated input, since a short checkpoint blob means corrupted storage.
+/// Reads primitive values back. Corruption-safe: a read past the end of the
+/// input does not abort — it sets a sticky failure flag and returns a
+/// zero/empty value, so a corrupted stable blob is *detected* (check ok()
+/// after decoding, or use the record-level try_deserialize paths, which
+/// do) rather than killing the process.
 class ByteReader {
  public:
   explicit ByteReader(const Bytes& data) : data_(data) {}
@@ -51,15 +54,33 @@ class ByteReader {
 
   bool exhausted() const { return pos_ == data_.size(); }
 
+  /// False once any read overran the input (truncated/corrupted blob).
+  bool ok() const { return !failed_; }
+  /// Mark the stream as corrupted (record-level checks, e.g. a checksum
+  /// mismatch, funnel through the same failure state).
+  void fail() { failed_ = true; }
+
+  /// Current read offset (used to delimit checksummed spans).
+  std::size_t position() const { return pos_; }
+  const Bytes& underlying() const { return data_; }
+
   /// All remaining bytes (copy-through of trailing extension fields).
   Bytes rest();
 
  private:
+  bool require(std::size_t n);
+
   const Bytes& data_;
   std::size_t pos_ = 0;
+  bool failed_ = false;
 };
 
 /// FNV-1a fingerprint, used to compare application states cheaply.
 std::uint64_t fingerprint(const Bytes& data);
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte span. Guards stable
+/// checkpoint records and injected-fault detection paths.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+std::uint32_t crc32(const Bytes& data);
 
 }  // namespace synergy

@@ -3,15 +3,78 @@
 #include <algorithm>
 #include <utility>
 
+#include "analysis/checkers.hpp"
+#include "analysis/global_state.hpp"
 #include "common/assert.hpp"
 
 namespace synergy {
 
+std::optional<StableSeq> common_valid_line(
+    const std::vector<ProcessNode*>& nodes) {
+  StableSeq hi = ~StableSeq{0};
+  StableSeq lo = 0;
+  bool any = false;
+  for (ProcessNode* n : nodes) {
+    if (n->retired() || !n->has_stable_storage()) continue;
+    any = true;
+    hi = std::min(hi, n->sstore().latest_valid_ndc());
+    const auto retained = n->sstore().retained_ndcs();
+    if (!retained.empty()) lo = std::max(lo, retained.front());
+  }
+  if (!any) return std::nullopt;
+  for (StableSeq cand = hi; cand + 1 > lo; --cand) {
+    bool ok = true;
+    for (ProcessNode* n : nodes) {
+      if (n->retired() || !n->has_stable_storage()) continue;
+      if (!n->sstore().has_valid(cand)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return cand;
+    if (cand == 0) break;  // unsigned: don't wrap below zero
+  }
+  return std::nullopt;
+}
+
+std::optional<StableSeq> common_restorable_line(
+    const std::vector<ProcessNode*>& nodes) {
+  StableSeq hi = ~StableSeq{0};
+  StableSeq lo = 0;
+  bool any = false;
+  for (ProcessNode* n : nodes) {
+    if (n->retired() || !n->has_stable_storage()) continue;
+    any = true;
+    hi = std::min(hi, n->sstore().latest_valid_ndc());
+    const auto retained = n->sstore().retained_ndcs();
+    if (!retained.empty()) lo = std::max(lo, retained.front());
+  }
+  if (!any) return std::nullopt;
+  for (StableSeq cand = hi; cand + 1 > lo; --cand) {
+    std::vector<CheckpointRecord> records;
+    bool ok = true;
+    for (ProcessNode* n : nodes) {
+      if (n->retired() || !n->has_stable_storage()) continue;
+      auto rec = n->sstore().committed_for(cand);
+      if (!rec || !n->sstore().has_valid(cand)) {
+        ok = false;
+        break;
+      }
+      records.push_back(std::move(*rec));
+    }
+    if (ok && check_all(global_state_from_records(records)).empty()) {
+      return cand;
+    }
+    if (cand == 0) break;  // unsigned: don't wrap below zero
+  }
+  return std::nullopt;
+}
+
 HardwareRecoveryManager::HardwareRecoveryManager(
     Simulator& sim, std::vector<ProcessNode*> nodes, Duration repair_latency,
-    TraceLog* trace)
+    TraceLog* trace, bool oracle_filter)
     : sim_(sim), nodes_(std::move(nodes)), repair_latency_(repair_latency),
-      trace_(trace) {
+      trace_(trace), oracle_filter_(oracle_filter) {
   SYNERGY_EXPECTS(repair_latency >= Duration::zero());
 }
 
@@ -73,12 +136,21 @@ HwRecoveryStats HardwareRecoveryManager::recover_all(TimePoint fault_time,
     if (n->tb() == nullptr) timered = false;
   }
   if (timered) {
-    StableSeq min_ndc = ~StableSeq{0};
-    for (ProcessNode* n : nodes_) {
-      if (n->retired()) continue;
-      min_ndc = std::min(min_ndc, n->sstore().latest_ndc());
+    // Storage faults can leave the record at the naive line (min of latest
+    // indices) undecodable on some node, and injector-era lines can fail
+    // the paper's oracles outright: hardened mode prefers the newest index
+    // that is intact everywhere AND restores a clean global state, then
+    // degrades to merely intact, then to per-node fallbacks.
+    if (oracle_filter_) line_ndc = common_restorable_line(nodes_);
+    if (!line_ndc) line_ndc = common_valid_line(nodes_);
+    if (!line_ndc) {
+      StableSeq min_ndc = ~StableSeq{0};
+      for (ProcessNode* n : nodes_) {
+        if (n->retired()) continue;
+        min_ndc = std::min(min_ndc, n->sstore().latest_valid_ndc());
+      }
+      line_ndc = min_ndc;
     }
-    line_ndc = min_ndc;
   }
 
   // Phase 1: every non-retired process rolls back to the line.

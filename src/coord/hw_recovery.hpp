@@ -30,12 +30,36 @@ struct HwRecoveryStats {
   std::size_t resent_messages = 0;
 };
 
+/// Last checkpoint index that every non-retired node in `nodes` has
+/// committed *and can still decode*. Storage faults can damage the record
+/// at the naive line (min of latest indices); selection walks down through
+/// the retained history until an index is intact everywhere. Empty when no
+/// common intact index survives (each node then restores its own newest
+/// valid record — a degraded, best-effort line).
+std::optional<StableSeq> common_valid_line(
+    const std::vector<ProcessNode*>& nodes);
+
+/// Like common_valid_line, but the chosen index must also pass the paper's
+/// oracles (consistency, recoverability, software recoverability) over the
+/// record set it would restore. Protects recovery from adopting a line cut
+/// while an injector had split the processes' validation knowledge (e.g. a
+/// dropped passed_AT): restoring such a pair bakes the asymmetry into the
+/// live states, where no later repair can reach it. Empty when no retained
+/// index is clean everywhere — callers fall back to common_valid_line, so
+/// schemes whose lines are *expected* to violate the oracles (ablations,
+/// the naive combination) behave exactly as before.
+std::optional<StableSeq> common_restorable_line(
+    const std::vector<ProcessNode*>& nodes);
+
 class HardwareRecoveryManager {
  public:
   /// `repair_latency`: downtime between the fault and the coordinated
-  /// restart of the system.
+  /// restart of the system. With `oracle_filter`, line selection prefers
+  /// common_restorable_line (hardened mode); otherwise the paper's naive
+  /// common_valid_line selection is used unchanged.
   HardwareRecoveryManager(Simulator& sim, std::vector<ProcessNode*> nodes,
-                          Duration repair_latency, TraceLog* trace);
+                          Duration repair_latency, TraceLog* trace,
+                          bool oracle_filter = false);
 
   /// Crash the process on `node` now and schedule the global recovery.
   /// `new_epoch` is the recovery incarnation for fencing and re-sends.
@@ -59,6 +83,7 @@ class HardwareRecoveryManager {
   std::vector<ProcessNode*> nodes_;
   Duration repair_latency_;
   TraceLog* trace_;
+  bool oracle_filter_;
   std::uint64_t faults_ = 0;
   bool pending_ = false;
 };

@@ -1,0 +1,295 @@
+#include "coord/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/checkers.hpp"
+#include "analysis/global_state.hpp"
+#include "common/assert.hpp"
+#include "coord/hw_recovery.hpp"
+
+namespace synergy {
+
+AssumptionMonitor::AssumptionMonitor(Simulator& sim, Network& net,
+                                     ClockEnsemble& clocks,
+                                     std::vector<ProcessNode*> nodes,
+                                     const MonitorParams& params,
+                                     TraceLog* trace)
+    : sim_(sim), net_(net), clocks_(clocks), nodes_(std::move(nodes)),
+      params_(params), trace_(trace) {
+  SYNERGY_EXPECTS(params_.sweep_interval > Duration::zero());
+}
+
+void AssumptionMonitor::install() {
+  SYNERGY_EXPECTS(!installed_);
+  installed_ = true;
+  net_.set_delivery_bound_observer(
+      [this](const Message& m, Duration lateness) {
+        on_late_delivery(m, lateness);
+      });
+  for (ProcessNode* n : nodes_) {
+    if (TbEngine* tb = n->tb()) {
+      const ProcessId p = n->id();
+      tb->set_overrun_observer([this, p](Duration actual, Duration allowed) {
+        on_overrun(p, actual, allowed);
+      });
+    }
+  }
+  sim_.schedule_after(params_.sweep_interval, [this] { sweep(); });
+}
+
+bool AssumptionMonitor::quiescent() const {
+  for (ProcessNode* n : nodes_) {
+    if (!n->retired() && n->crashed()) return false;
+  }
+  return true;
+}
+
+void AssumptionMonitor::on_late_delivery(const Message& m, Duration lateness) {
+  ++stats_.bound_violations;
+  if (trace_) {
+    trace_->record(sim_.now(), m.receiver, TraceKind::kBoundViolation, {},
+                   static_cast<std::uint64_t>(lateness.count()));
+  }
+  if (!params_.degrade) return;
+  // The delivery took tmax + lateness; widen every engine's assumed bound
+  // past that so future tau(b) windows cover deliveries this slow. The
+  // widening is monotone, so repeated reports of the same slowdown settle
+  // after the first.
+  const Duration observed = net_.params().tmax + lateness;
+  const auto widened = Duration::micros(static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(observed.count()) * params_.widen_margin)));
+  for (ProcessNode* n : nodes_) {
+    if (n->retired()) continue;
+    if (TbEngine* tb = n->tb()) {
+      if (tb->widen_delay_bound(widened)) ++stats_.tau_widenings;
+    }
+  }
+}
+
+void AssumptionMonitor::on_overrun(ProcessId p, Duration actual,
+                                   Duration allowed) {
+  (void)p;
+  (void)actual;
+  (void)allowed;  // already traced by the engine
+  ++stats_.blocking_overruns;
+  if (!params_.degrade) return;
+  // A span outside the drift envelope means some clock is running beyond
+  // rho. Re-anchoring the offsets is the only in-protocol remedy: it
+  // restores the delta bound now and resets every engine's eps term.
+  // (During a resync blackout the request is recorded as missed.)
+  ++stats_.forced_resyncs;
+  if (trace_) {
+    trace_->record(sim_.now(), p, TraceKind::kDegradation, "force_resync");
+  }
+  clocks_.resync_all();
+}
+
+void AssumptionMonitor::sweep() {
+  bool need_reline = false;
+  if (quiescent()) {
+    // Undelivered-message watchdog: a message still unacked a full sweep
+    // after it was first seen has been dropped (or its ack has) — in-spec
+    // delivery plus validation-gated acknowledgment settles far faster.
+    // Resending is always safe (receivers suppress duplicates and re-ack),
+    // and it is what closes a validation-knowledge gap: a lost passed_AT
+    // leaves the sender believing a segment is still unvalidated while the
+    // receivers have moved on.
+    if (prev_unacked_.size() != nodes_.size()) {
+      prev_unacked_.assign(nodes_.size(), {});
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      ProcessNode* n = nodes_[i];
+      if (n->retired()) {
+        prev_unacked_[i].clear();
+        continue;
+      }
+      const std::unordered_set<std::uint64_t> prev(prev_unacked_[i].begin(),
+                                                   prev_unacked_[i].end());
+      std::vector<std::uint64_t> current;
+      std::size_t stale = 0;
+      for (const Message& m : n->endpoint().unacked()) {
+        current.push_back(m.transport_seq);
+        if (prev.contains(m.transport_seq)) ++stale;
+      }
+      prev_unacked_[i] = std::move(current);
+      if (stale == 0) continue;
+      stats_.undelivered_messages += stale;
+      if (trace_) {
+        trace_->record(sim_.now(), n->id(), TraceKind::kBoundViolation,
+                       "undelivered", stale);
+      }
+      if (params_.degrade) {
+        ++stats_.forced_resends;
+        if (trace_) {
+          trace_->record(sim_.now(), n->id(), TraceKind::kDegradation,
+                         "resend_unacked", stale);
+        }
+        n->resend_unacked();
+        prev_unacked_[i].clear();  // resent just now: restart the clock
+      }
+    }
+
+    for (ProcessNode* n : nodes_) {
+      if (n->retired() || !n->has_stable_storage()) continue;
+      StableStore& store = n->sstore();
+
+      // Stable-write deadline watchdog: a write whose retry budget ran out
+      // was silently dropped; the checkpoint it carried would be a hole in
+      // the node's history. Degrade by forcing the very record that failed
+      // through as a write-through commit.
+      if (auto abandoned = store.take_abandoned()) {
+        ++stats_.write_timeouts;
+        if (trace_) {
+          trace_->record(sim_.now(), n->id(), TraceKind::kStableTimeout, {},
+                         abandoned->ndc);
+        }
+        if (params_.degrade) {
+          ++stats_.forced_write_throughs;
+          if (trace_) {
+            trace_->record(sim_.now(), n->id(), TraceKind::kDegradation,
+                           "write_through", abandoned->ndc);
+          }
+          store.commit_now(std::move(*abandoned));
+        }
+      }
+
+      // Latent-corruption scan: the newest record no longer decodes, so a
+      // recovery through this node would roll deeper than the line says.
+      if (store.latest_valid_ndc() < store.latest_ndc()) {
+        ++stats_.corrupt_records;
+        if (trace_) {
+          trace_->record(sim_.now(), n->id(), TraceKind::kCorruptRecord, {},
+                         store.latest_ndc());
+        }
+        need_reline = true;
+      }
+    }
+  }
+
+  if (need_reline && params_.degrade && quiescent()) reestablish_line();
+
+  // Line self-audit: run the paper's consistency theorem over the records
+  // a recovery would actually restore. Catches what the local detectors
+  // cannot see — records cut while validation knowledge was split.
+  if (quiescent() && !repair_pending_) {
+    if (const std::size_t v = line_violations(); v > 0) {
+      stats_.line_inconsistencies += v;
+      if (trace_) {
+        trace_->record(sim_.now(), ProcessId{0}, TraceKind::kLineInconsistent,
+                       {}, v);
+      }
+      if (params_.degrade) start_line_repair();
+    }
+  }
+
+  sim_.schedule_after(params_.sweep_interval, [this] { sweep(); });
+}
+
+std::size_t AssumptionMonitor::resend_all() {
+  std::size_t resent = 0;
+  for (ProcessNode* n : nodes_) {
+    if (n->retired()) continue;
+    resent += n->resend_unacked();
+  }
+  return resent;
+}
+
+std::size_t AssumptionMonitor::line_violations() {
+  std::vector<ProcessNode*> participants;
+  for (ProcessNode* n : nodes_) {
+    if (n->retired()) continue;
+    if (!n->has_stable_storage() || n->tb() == nullptr) return 0;
+    participants.push_back(n);
+  }
+  if (participants.empty()) return 0;
+  const auto line = common_valid_line(participants);
+  if (!line) return 0;
+  std::vector<CheckpointRecord> records;
+  for (ProcessNode* n : participants) {
+    auto rec = n->sstore().committed_for(*line);
+    if (!rec) return 0;  // mid-commit: skip this audit
+    records.push_back(std::move(*rec));
+  }
+  const GlobalState state = global_state_from_records(records);
+  return check_consistency(state).size();
+}
+
+void AssumptionMonitor::start_line_repair() {
+  // Step 1: resend every unacked message. If the inconsistency came from a
+  // dropped validation notification, the duplicate delivers it and the
+  // sender's contamination flag settles to the receivers' view.
+  repair_pending_ = true;
+  ++stats_.forced_resends;
+  const std::size_t resent = resend_all();
+  if (trace_) {
+    trace_->record(sim_.now(), ProcessId{0}, TraceKind::kDegradation,
+                   "repair_resend", resent);
+  }
+  // Step 2 after the resent messages (and any acks they trigger) settle:
+  // well past a round trip even at injector-delayed latencies.
+  const Duration settle =
+      Duration::micros(net_.params().tmax.count() * 8) + Duration::millis(10);
+  sim_.schedule_after(settle, [this] { finish_line_repair(); });
+}
+
+void AssumptionMonitor::finish_line_repair() {
+  repair_pending_ = false;
+  // A crash/recovery got in between: the recovery refreshes the line
+  // itself, and the next sweep re-audits.
+  if (!quiescent()) return;
+  if (line_violations() == 0) return;  // healed by resend + later boundary
+  reestablish_line();
+  // If the reline still leaves an inconsistency (a repair resend was itself
+  // dropped), the next sweep detects it and starts over.
+}
+
+void AssumptionMonitor::reestablish_line() {
+  // Mirror of the post-takeover line refresh (System::on_at_failure): all
+  // participants commit a checkpoint of their state at this same instant
+  // under a fresh common index and fast-forward their TB schedules to it.
+  // Same-instant records form a consistent cut (in-flight messages live in
+  // the senders' unacked logs), and the damaged record can no longer be
+  // selected: every future line is at or above the new index.
+  Duration interval = Duration::zero();
+  for (ProcessNode* n : nodes_) {
+    if (n->retired()) continue;
+    if (n->tb() == nullptr) return;  // no common index space to re-line in
+    interval = n->tb()->params().interval;
+  }
+  StableSeq line =
+      static_cast<StableSeq>(sim_.now().count() / interval.count()) + 1;
+  for (ProcessNode* n : nodes_) {
+    if (n->retired()) continue;
+    line = std::max(line, n->tb()->ndc() + 1);
+  }
+  for (ProcessNode* n : nodes_) {
+    if (n->retired() || !n->has_stable_storage()) continue;
+    if (n->engine().in_blocking()) n->engine().end_blocking();
+    // Contents follow the adapted protocol's rule (TbEngine::create_ckpt):
+    // a contaminated process persists its last validated volatile
+    // checkpoint, never its current state — a dirty record on the line
+    // would forfeit software recoverability for every future rollback.
+    CheckpointRecord rec;
+    if (n->engine().contamination_flag() &&
+        n->engine().latest_volatile().has_value()) {
+      rec = *n->engine().latest_volatile();
+      rec.kind = CkptKind::kStable;
+      rec.established_at = n->engine().current_time();
+    } else {
+      rec = n->engine().make_record(CkptKind::kStable);
+    }
+    rec.ndc = line;
+    n->sstore().commit_now(std::move(rec));
+    n->tb()->reset_after_recovery(line);
+  }
+  ++stats_.relines;
+  if (trace_) {
+    trace_->record(sim_.now(), ProcessId{0}, TraceKind::kDegradation, "reline",
+                   line);
+  }
+}
+
+}  // namespace synergy

@@ -1,0 +1,127 @@
+// AssumptionMonitor — detects violated environment assumptions and
+// degrades gracefully instead of letting the protocol's guarantees rot
+// silently.
+//
+// The coordinated scheme's correctness argument leans on three modelled
+// bounds: message delivery within [tmin, tmax], clock drift within rho
+// (re-anchored by resyncs), and stable storage that always commits what it
+// was given. The chaos campaigns break each on purpose; this monitor is
+// the hardening half of that bargain. It watches for
+//   - delivery-bound violations (reported by the network on arrival),
+//   - blocking-period / checkpoint-cadence overruns (reported by the TB
+//     engines from true-time measurements),
+//   - stable-write deadline misses (writes abandoned after the retry
+//     budget) and undecodable newest records (latent corruption / torn
+//     writes),
+//   - undelivered messages (still unacknowledged a full sweep after being
+//     sent: a drop is a delivery-bound violation with infinite lateness),
+//   - recovery-line inconsistency (the paper's consistency theorem run as
+//     a standing self-audit over the committed line: a dropped passed_AT
+//     splits validation knowledge between sender and receivers, and their
+//     boundary records then disagree about unvalidated traffic),
+// and responds with the matching degradations:
+//   - widen the assumed tmax, so future tau(b) windows cover the slower
+//     network (conservative: longer blocking, intact guarantees);
+//   - force an immediate clock resynchronization;
+//   - force the abandoned record through as a write-through commit;
+//   - re-send the unacked log (duplicates are suppressed at the receiver,
+//     so this is always safe; it closes any validation-knowledge gap);
+//   - re-establish the recovery line: a coordinated same-instant
+//     write-through checkpoint at a fresh common index on every node, so
+//     the damaged record can never be selected by a future recovery. The
+//     line repair always runs a resend first and relines only after the
+//     resent messages settle: relining while validation knowledge is still
+//     split would cut the same inconsistency at the new index.
+// Every clean run stays silent: each detector's threshold includes the
+// in-spec drift/latency envelope, so zero violations is the expected
+// steady state — and what the campaign checkers assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clock/ensemble.hpp"
+#include "coord/node.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+struct MonitorParams {
+  /// Cadence of the storage sweep (watchdog + corruption scan).
+  Duration sweep_interval = Duration::seconds(5);
+  /// Late deliveries widen the assumed tmax to observed * this factor.
+  double widen_margin = 1.25;
+  /// Apply degradations (false = detect and count only).
+  bool degrade = true;
+};
+
+struct MonitorStats {
+  // Detections.
+  std::uint64_t bound_violations = 0;
+  std::uint64_t blocking_overruns = 0;
+  std::uint64_t write_timeouts = 0;
+  std::uint64_t corrupt_records = 0;
+  std::uint64_t undelivered_messages = 0;
+  std::uint64_t line_inconsistencies = 0;
+  // Degradations applied.
+  std::uint64_t tau_widenings = 0;
+  std::uint64_t forced_resyncs = 0;
+  std::uint64_t forced_write_throughs = 0;
+  std::uint64_t forced_resends = 0;
+  std::uint64_t relines = 0;
+
+  std::uint64_t violations() const {
+    return bound_violations + blocking_overruns + write_timeouts +
+           corrupt_records + undelivered_messages + line_inconsistencies;
+  }
+  std::uint64_t degradations() const {
+    return tau_widenings + forced_resyncs + forced_write_throughs +
+           forced_resends + relines;
+  }
+};
+
+class AssumptionMonitor {
+ public:
+  AssumptionMonitor(Simulator& sim, Network& net, ClockEnsemble& clocks,
+                    std::vector<ProcessNode*> nodes,
+                    const MonitorParams& params, TraceLog* trace);
+
+  /// Hook the network / TB observers and arm the periodic storage sweep.
+  void install();
+
+  const MonitorStats& stats() const { return stats_; }
+
+ private:
+  void on_late_delivery(const Message& m, Duration lateness);
+  void on_overrun(ProcessId p, Duration actual, Duration allowed);
+  void sweep();
+  /// Resend every node's unacked log (safe: receivers suppress duplicates).
+  std::size_t resend_all();
+  /// Line inconsistency was detected: resend now, then reline once the
+  /// resent messages have settled (if the line is still inconsistent).
+  void start_line_repair();
+  void finish_line_repair();
+  /// Consistency violations in the currently committed recovery line, or 0
+  /// when the line cannot be audited (no common index space).
+  std::size_t line_violations();
+  void reestablish_line();
+  bool quiescent() const;  ///< No node crashed / recovery in flight.
+
+  Simulator& sim_;
+  Network& net_;
+  ClockEnsemble& clocks_;
+  std::vector<ProcessNode*> nodes_;
+  MonitorParams params_;
+  TraceLog* trace_;
+  MonitorStats stats_;
+  bool installed_ = false;
+  bool repair_pending_ = false;
+  /// Unacked transport seqs per node as of the previous sweep: a message
+  /// still unacked one full sweep after being seen was dropped (or its ack
+  /// was), far outside any in-spec delivery + validation latency.
+  std::vector<std::vector<std::uint64_t>> prev_unacked_;
+};
+
+}  // namespace synergy

@@ -93,6 +93,10 @@ ProcessNode::ProcessNode(Role role, Simulator& sim, Network& net,
         [&ensemble] { return ensemble.elapsed_since_resync(); }, trace);
     engine_->set_ndc_provider([this] { return tb_->ndc(); });
   }
+
+  // Seeded last so the storage-fault stream rides after the splits above:
+  // enabling injection never perturbs the AT / software-fault streams.
+  if (sstore_) sstore_->seed_faults(rng.split());
 }
 
 void ProcessNode::start() {
@@ -132,7 +136,19 @@ CheckpointRecord ProcessNode::restore_from_stable(
   sstore_->crash_abort_in_progress();
   auto rec = line_ndc ? sstore_->committed_for(*line_ndc)
                       : sstore_->latest_committed();
-  SYNERGY_ASSERT(rec.has_value());  // initial checkpoint guarantees this
+  if (!rec && line_ndc) {
+    // Checksum-mismatch fallback: the record at the recovery line is
+    // damaged (torn or corrupted). Restore the newest intact earlier
+    // record instead of crashing — a deeper rollback, not a failure.
+    if (trace_) {
+      trace_->record(sim_.now(), id_, TraceKind::kCorruptRecord, "fallback",
+                     *line_ndc);
+    }
+    rec = sstore_->best_valid_at_most(*line_ndc);
+  }
+  // The initial commit_now checkpoint makes an all-corrupt history (every
+  // retained record damaged independently) the only way to get here.
+  SYNERGY_ASSERT(rec.has_value());
   // Records above the line were committed by the undone incarnation
   // (survivors checkpointing through the repair window): purge them.
   sstore_->discard_above(rec->ndc);

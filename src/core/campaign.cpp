@@ -1,0 +1,206 @@
+#include "core/campaign.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "analysis/checkers.hpp"
+#include "trace/export.hpp"
+
+namespace synergy {
+
+InjectorRates default_injector_rates() {
+  InjectorRates r;
+  r.net.drop_probability = 0.01;
+  r.net.duplicate_probability = 0.01;
+  r.net.reorder_probability = 0.02;
+  r.net.delay_probability = 0.002;
+  r.net.bitflip_probability = 0.005;
+  r.storage.write_error_probability = 0.05;
+  r.storage.torn_write_probability = 0.02;
+  r.storage.latent_corruption_probability = 0.01;
+  r.timed.hw_fault_mean_gap = Duration::seconds(150);
+  r.timed.drift_excursion_mean_gap = Duration::seconds(200);
+  r.timed.drift_excursion_factor = 50.0;
+  r.timed.drift_excursion_duration = Duration::seconds(20);
+  r.timed.resync_blackout_mean_gap = Duration::seconds(250);
+  r.timed.resync_blackout_duration = Duration::seconds(30);
+  return r;
+}
+
+CampaignConfig::CampaignConfig() {
+  rates = default_injector_rates();
+  // The chaos-soak workload: busy enough that every fault class lands on
+  // in-flight protocol activity.
+  base.workload.p1_internal_rate = 3.0;
+  base.workload.p2_internal_rate = 3.0;
+  base.workload.p1_external_rate = 0.3;
+  base.workload.p2_external_rate = 0.3;
+  base.workload.step_rate = 1.0;
+  base.sw_fault.activation_per_send = 0.001;
+  base.tb.interval = Duration::seconds(10);
+  base.repair_latency = Duration::seconds(2);
+}
+
+MissionReport run_mission(const CampaignConfig& config,
+                          std::uint64_t mission_seed) {
+  MissionReport report;
+  report.seed = mission_seed;
+
+  SystemConfig sc = config.base;
+  sc.scheme = config.scheme;
+  sc.seed = mission_seed;
+  sc.net_faults = config.rates.net;
+  sc.sstore.faults = config.rates.storage;
+  sc.enable_monitor = true;
+  sc.harden_recovery = true;
+  if (!config.trace_csv.empty()) sc.enable_trace = true;
+
+  System system(sc);
+  const TimePoint start = TimePoint::origin();
+  const FaultSchedule schedule = FaultSchedule::generate(
+      mission_seed, config.rates, start, config.mission, sc.clock.rho,
+      kNumCanonicalProcesses);
+
+  for (const FaultEvent& ev : schedule.events()) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::kHwFault:
+        if (sc.scheme != Scheme::kMdcdOnly) {
+          system.schedule_hw_fault(ev.at, NodeId{ev.target});
+        }
+        break;
+      case FaultEvent::Kind::kDriftExcursion:
+        system.sim().schedule_at(ev.at, [&system, ev] {
+          system.clocks().inject_drift_excursion(ProcessId{ev.target},
+                                                 ev.drift);
+        });
+        break;
+      case FaultEvent::Kind::kDriftRestore:
+        system.sim().schedule_at(ev.at, [&system, ev] {
+          system.clocks().end_drift_excursion(ProcessId{ev.target});
+        });
+        break;
+      case FaultEvent::Kind::kBlackoutStart:
+        system.sim().schedule_at(ev.at, [&system] {
+          system.clocks().suppress_resyncs(true);
+        });
+        break;
+      case FaultEvent::Kind::kBlackoutEnd:
+        system.sim().schedule_at(ev.at, [&system] {
+          system.clocks().suppress_resyncs(false);
+        });
+        break;
+    }
+  }
+
+  // Periodic recovery-line audits: the paper's theorems as standing
+  // invariants, checked while the adversary is mid-swing.
+  auto audit = [&report, &system](const char* when) {
+    const GlobalState line = system.stable_line_state();
+    for (const Violation& v : check_all(line)) {
+      report.failures.push_back(std::string(when) + " at " +
+                                std::to_string(system.sim().now().to_seconds()) +
+                                "s: " + v.describe());
+    }
+  };
+  for (TimePoint t = start + config.audit_interval;
+       t < start + config.mission; t += config.audit_interval) {
+    system.sim().schedule_at(t, [&audit] { audit("audit"); });
+  }
+
+  system.start(start + config.mission);
+  system.run();
+  audit("final");
+
+  // With a perfect acceptance test no erroneous value may ever reach the
+  // device, no matter what the injectors did.
+  if (sc.at.coverage >= 1.0 && sc.at.false_alarm <= 0.0) {
+    for (const auto& e : system.device().entries) {
+      if (e.tainted) {
+        report.failures.push_back("tainted external output at " +
+                                  std::to_string(e.at.to_seconds()) + "s");
+        break;
+      }
+    }
+  }
+
+  if (FaultyNetwork* fn = system.faulty_net()) {
+    report.injected_net = fn->injected_total();
+  }
+  report.late_deliveries = system.net().late_deliveries();
+  for (std::uint32_t p = 0; p < kNumCanonicalProcesses; ++p) {
+    ProcessNode& n = system.node(ProcessId{p});
+    if (!n.has_stable_storage()) continue;
+    report.write_retries += n.sstore().write_retries();
+    report.failed_writes += n.sstore().failed_writes();
+    report.torn_writes += n.sstore().torn_writes();
+    report.latent_corruptions += n.sstore().latent_corruptions();
+    report.corrupt_reads += n.sstore().corrupt_reads();
+  }
+  report.hw_faults = system.hw_manager().faults_injected();
+  report.drift_excursions = system.clocks().drift_excursions();
+  report.missed_resyncs = system.clocks().missed_resyncs();
+  report.sw_recoveries = system.sw_recovery().has_value() ? 1 : 0;
+  if (AssumptionMonitor* m = system.monitor()) report.monitor = m->stats();
+
+  if (!config.trace_csv.empty()) {
+    std::ofstream out(config.trace_csv);
+    write_trace_csv(system.trace(), out);
+  }
+
+  report.ok = report.failures.empty();
+  if (!report.ok) report.schedule_json = schedule.to_json();
+  return report;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config, std::ostream* out) {
+  CampaignResult result;
+  Rng seeder(config.seed);
+  for (std::size_t i = 0; i < config.reps; ++i) {
+    const std::uint64_t mission_seed = seeder.next();
+    MissionReport report = run_mission(config, mission_seed);
+    result.oracle_violations += report.failures.size();
+    result.detections += report.monitor.violations();
+    result.degradations += report.monitor.degradations();
+    if (!report.ok) ++result.failed;
+
+    if (out && (config.verbose || !report.ok)) {
+      *out << "mission " << i << " seed=" << report.seed
+           << (report.ok ? " ok" : " FAIL") << " net=" << report.injected_net
+           << " late=" << report.late_deliveries
+           << " retries=" << report.write_retries
+           << " torn=" << report.torn_writes
+           << " latent=" << report.latent_corruptions
+           << " hw=" << report.hw_faults
+           << " drift=" << report.drift_excursions
+           << " missed_resync=" << report.missed_resyncs
+           << " detect=" << report.monitor.violations()
+           << " degrade=" << report.monitor.degradations() << "\n";
+    }
+    if (out && !report.ok) {
+      for (const auto& f : report.failures) *out << "  " << f << "\n";
+      // The replay command must reproduce the mission *configuration* too,
+      // not just the seed: spell out the non-default knobs.
+      *out << "  replay: synergy chaos --replay " << report.seed;
+      if (config.scheme != Scheme::kCoordinated) {
+        *out << " --scheme " << to_string(config.scheme);
+      }
+      if (config.mission != Duration::seconds(600)) {
+        *out << " --duration " << config.mission.to_seconds();
+      }
+      *out << " (plus any non-default injector flags)\n";
+      *out << "  schedule: " << report.schedule_json << "\n";
+    }
+    result.missions.push_back(std::move(report));
+  }
+
+  if (out) {
+    *out << "campaign: " << (config.reps - result.failed) << "/" << config.reps
+         << " missions clean, " << result.oracle_violations
+         << " oracle violations, " << result.detections
+         << " assumption violations detected, " << result.degradations
+         << " degradations applied\n";
+  }
+  return result;
+}
+
+}  // namespace synergy

@@ -1,0 +1,93 @@
+// Chaos campaign driver: N seeded missions under the full injector stack.
+//
+// A mission is one System run with every adversary enabled at once —
+// per-message network faults, per-write storage faults, and the timed
+// event schedule (hardware crashes, clock-drift excursions, resync
+// blackouts) generated from the mission seed. The assumption monitors are
+// installed, so violations are detected and degraded around; the paper's
+// oracles (consistency, recoverability, software recoverability) audit the
+// recovery line periodically and at mission end, and the device log is
+// checked for tainted output.
+//
+// Mission seeds derive deterministically from the campaign seed, and every
+// injected fault draws from streams derived from the mission seed, so a
+// failed mission is replayed exactly by re-running its printed seed. On
+// failure the report carries the complete schedule JSON.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "coord/monitor.hpp"
+#include "core/system.hpp"
+#include "inject/fault_schedule.hpp"
+
+namespace synergy {
+
+/// Injector rates sized so a default 600 s mission sees every fault class
+/// several times while staying inside what the hardened coordinated scheme
+/// degrades around (the acceptance bar: zero oracle violations).
+InjectorRates default_injector_rates();
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  std::size_t reps = 50;
+  Duration mission = Duration::seconds(600);
+  Scheme scheme = Scheme::kCoordinated;
+  InjectorRates rates;  ///< zero-initialized: call default_injector_rates()
+  /// Base system configuration; seed/scheme/faults are overridden per
+  /// mission. Leave defaulted for the standard chaos workload.
+  SystemConfig base;
+  Duration audit_interval = Duration::seconds(30);
+  bool verbose = false;  ///< Per-mission summary lines.
+  /// When non-empty, enable tracing and dump the mission's trace to this
+  /// CSV path (replay diagnostics: `chaos --replay SEED --trace-csv f.csv`).
+  std::string trace_csv;
+
+  CampaignConfig();  ///< Sets rates + a busy default workload.
+};
+
+struct MissionReport {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::vector<std::string> failures;
+
+  // Adversity actually experienced.
+  std::uint64_t injected_net = 0;
+  std::uint64_t late_deliveries = 0;
+  std::uint64_t write_retries = 0;
+  std::uint64_t failed_writes = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t latent_corruptions = 0;
+  std::uint64_t corrupt_reads = 0;
+  std::uint64_t hw_faults = 0;
+  std::uint64_t drift_excursions = 0;
+  std::uint64_t missed_resyncs = 0;
+  std::uint64_t sw_recoveries = 0;
+
+  MonitorStats monitor;
+
+  /// Populated when the mission failed: the full replayable adversary.
+  std::string schedule_json;
+};
+
+struct CampaignResult {
+  std::vector<MissionReport> missions;
+  std::size_t failed = 0;
+  std::uint64_t oracle_violations = 0;   ///< Across all audits (must be 0).
+  std::uint64_t detections = 0;          ///< Monitor detections (expected >0).
+  std::uint64_t degradations = 0;
+};
+
+/// Run one mission with the given seed. Exposed for deterministic replay
+/// (`synergy chaos --replay <seed>`).
+MissionReport run_mission(const CampaignConfig& config,
+                          std::uint64_t mission_seed);
+
+/// Run the whole campaign; prints a summary (and failing seeds + schedule
+/// JSON) to `out` when non-null.
+CampaignResult run_campaign(const CampaignConfig& config, std::ostream* out);
+
+}  // namespace synergy

@@ -8,7 +8,14 @@ namespace synergy {
 
 System::System(const SystemConfig& config) : config_(config) {
   rng_ = std::make_unique<Rng>(config.seed);
-  net_ = std::make_unique<Network>(sim_, config.net, rng_->split());
+  if (config.net_faults.any()) {
+    auto fn = std::make_unique<FaultyNetwork>(sim_, config.net,
+                                              config.net_faults, rng_->split());
+    faulty_net_ = fn.get();
+    net_ = std::move(fn);
+  } else {
+    net_ = std::make_unique<Network>(sim_, config.net, rng_->split());
+  }
   clocks_ = std::make_unique<ClockEnsemble>(sim_, config.clock,
                                             kNumCanonicalProcesses,
                                             rng_->split());
@@ -74,11 +81,20 @@ System::System(const SystemConfig& config) : config_(config) {
       sim_,
       std::vector<ProcessNode*>{nodes_[0].get(), nodes_[1].get(),
                                 nodes_[2].get()},
-      config.repair_latency, trace);
+      config.repair_latency, trace, config.harden_recovery);
 
   sw_manager_ = std::make_unique<SoftwareRecoveryManager>(
       *nodes_[0]->p1act(), *nodes_[1]->p1sdw(), *nodes_[2]->p2(),
       [this] { return sim_.now(); }, trace);
+
+  if (config.enable_monitor) {
+    monitor_ = std::make_unique<AssumptionMonitor>(
+        sim_, *net_, *clocks_,
+        std::vector<ProcessNode*>{nodes_[0].get(), nodes_[1].get(),
+                                  nodes_[2].get()},
+        config.monitor, trace);
+    monitor_->install();
+  }
 
   workload_ = std::make_unique<WorkloadDriver>(sim_, config.workload,
                                                rng_->split());
@@ -196,13 +212,19 @@ GlobalState System::stable_line_state() const {
     if (n->tb() == nullptr) timered = false;
   }
   std::vector<CheckpointRecord> records;
+  std::optional<StableSeq> line;
   if (timered && !participants.empty()) {
-    StableSeq line = ~StableSeq{0};
+    // Same selection a recovery would make: in hardened mode the newest
+    // index that is intact on every participant and restores a clean
+    // global state, then merely intact (storage faults can damage the
+    // naive minimum, and injector-era indices can fail the oracles —
+    // hardened recovery skips those).
+    if (config_.harden_recovery) line = common_restorable_line(participants);
+    if (!line) line = common_valid_line(participants);
+  }
+  if (line) {
     for (ProcessNode* n : participants) {
-      line = std::min(line, n->sstore().latest_ndc());
-    }
-    for (ProcessNode* n : participants) {
-      auto rec = n->sstore().committed_for(line);
+      auto rec = n->sstore().committed_for(*line);
       if (rec) records.push_back(std::move(*rec));
     }
   } else {

@@ -28,8 +28,10 @@
 #include "app/workload.hpp"
 #include "clock/ensemble.hpp"
 #include "coord/hw_recovery.hpp"
+#include "coord/monitor.hpp"
 #include "coord/node.hpp"
 #include "coord/write_through.hpp"
+#include "inject/faulty_network.hpp"
 #include "mdcd/recovery.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -57,6 +59,22 @@ struct SystemConfig {
 
   /// Downtime between a hardware fault and the coordinated restart.
   Duration repair_latency = Duration::seconds(1);
+
+  /// Per-message network fault injection (chaos campaigns). Any non-zero
+  /// rate swaps the network for a FaultyNetwork decorator.
+  NetFaultParams net_faults;
+
+  /// Install the assumption monitors + graceful degradation.
+  bool enable_monitor = false;
+  MonitorParams monitor;
+
+  /// Oracle-filter the hardware recovery line: skip retained indices whose
+  /// record set fails the paper's consistency/recoverability checks (they
+  /// can be cut while an injector has split validation knowledge, and
+  /// restoring one bakes the asymmetry into the live states). Off by
+  /// default so un-hardened systems keep the paper's naive selection —
+  /// characterization tests rely on observing those very violations.
+  bool harden_recovery = false;
 
   std::uint64_t seed = 1;
   /// Record protocol events into the trace log (scenario figures, tests).
@@ -133,6 +151,11 @@ class System {
   WriteThroughCoordinator* write_through() { return write_through_.get(); }
   HardwareRecoveryManager& hw_manager() { return *hw_manager_; }
 
+  /// The fault-injecting network (null unless config.net_faults.any()).
+  FaultyNetwork* faulty_net() { return faulty_net_; }
+  /// The assumption monitor (null unless config.enable_monitor).
+  AssumptionMonitor* monitor() { return monitor_.get(); }
+
  private:
   void on_at_failure(ProcessId detector);
   std::uint32_t next_epoch() { return ++epoch_counter_; }
@@ -148,6 +171,8 @@ class System {
   std::unique_ptr<WriteThroughCoordinator> write_through_;
   std::unique_ptr<HardwareRecoveryManager> hw_manager_;
   std::unique_ptr<SoftwareRecoveryManager> sw_manager_;
+  std::unique_ptr<AssumptionMonitor> monitor_;
+  FaultyNetwork* faulty_net_ = nullptr;
 
   TimePoint horizon_;
   bool started_ = false;

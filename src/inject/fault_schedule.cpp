@@ -1,0 +1,135 @@
+#include "inject/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace synergy {
+
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kHwFault: return "hw_fault";
+    case FaultEvent::Kind::kDriftExcursion: return "drift_excursion";
+    case FaultEvent::Kind::kDriftRestore: return "drift_restore";
+    case FaultEvent::Kind::kBlackoutStart: return "blackout_start";
+    case FaultEvent::Kind::kBlackoutEnd: return "blackout_end";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Poisson arrivals of `kind` over the horizon; `margin` keeps events away
+/// from the very start and end of the mission (the system needs a moment
+/// to boot, and a crash in the last instants has nothing left to break).
+void add_poisson(std::vector<FaultEvent>& out, Rng& rng, FaultEvent::Kind kind,
+                 Duration mean_gap, TimePoint start, Duration horizon,
+                 Duration margin, std::uint32_t n_targets, double drift,
+                 Duration paired_duration, FaultEvent::Kind paired_kind) {
+  if (mean_gap <= Duration::zero()) return;
+  const TimePoint lo = start + margin;
+  const TimePoint hi = start + horizon - margin;
+  TimePoint t = lo + rng.exponential(mean_gap);
+  while (t < hi) {
+    FaultEvent ev;
+    ev.kind = kind;
+    ev.at = t;
+    ev.target = n_targets > 0
+                    ? static_cast<std::uint32_t>(rng.uniform_int(0, n_targets - 1))
+                    : 0;
+    ev.drift = drift;
+    out.push_back(ev);
+    if (paired_duration > Duration::zero()) {
+      FaultEvent end;
+      end.kind = paired_kind;
+      end.at = t + paired_duration;
+      end.target = ev.target;
+      out.push_back(end);
+    }
+    t += rng.exponential(mean_gap);
+  }
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(std::uint64_t seed,
+                                      const InjectorRates& rates,
+                                      TimePoint start, Duration horizon,
+                                      double rho, std::uint32_t n_targets) {
+  FaultSchedule s;
+  s.seed_ = seed;
+  s.rates_ = rates;
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  const Duration margin =
+      std::min(Duration::seconds(30), horizon / 10);
+
+  add_poisson(s.events_, rng, FaultEvent::Kind::kHwFault,
+              rates.timed.hw_fault_mean_gap, start, horizon, margin, n_targets,
+              0.0, Duration::zero(), FaultEvent::Kind::kHwFault);
+  add_poisson(s.events_, rng, FaultEvent::Kind::kDriftExcursion,
+              rates.timed.drift_excursion_mean_gap, start, horizon, margin,
+              n_targets, rho * rates.timed.drift_excursion_factor,
+              rates.timed.drift_excursion_duration,
+              FaultEvent::Kind::kDriftRestore);
+  add_poisson(s.events_, rng, FaultEvent::Kind::kBlackoutStart,
+              rates.timed.resync_blackout_mean_gap, start, horizon, margin, 0,
+              0.0, rates.timed.resync_blackout_duration,
+              FaultEvent::Kind::kBlackoutEnd);
+
+  std::stable_sort(s.events_.begin(), s.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return s;
+}
+
+std::string FaultSchedule::to_json() const {
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof buf, "\"seed\":%llu,",
+                static_cast<unsigned long long>(seed_));
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "\"net\":{\"drop\":%g,\"dup\":%g,\"reorder\":%g,\"delay\":%g,"
+      "\"bitflip\":%g,\"delay_factor_max\":%g},",
+      rates_.net.drop_probability, rates_.net.duplicate_probability,
+      rates_.net.reorder_probability, rates_.net.delay_probability,
+      rates_.net.bitflip_probability, rates_.net.delay_factor_max);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "\"storage\":{\"write_error\":%g,\"torn\":%g,\"latent\":%g,"
+      "\"max_retries\":%zu},",
+      rates_.storage.write_error_probability,
+      rates_.storage.torn_write_probability,
+      rates_.storage.latent_corruption_probability,
+      rates_.storage.max_write_retries);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "\"timed\":{\"hw_gap_s\":%g,\"drift_gap_s\":%g,\"drift_factor\":%g,"
+      "\"blackout_gap_s\":%g},",
+      rates_.timed.hw_fault_mean_gap.to_seconds(),
+      rates_.timed.drift_excursion_mean_gap.to_seconds(),
+      rates_.timed.drift_excursion_factor,
+      rates_.timed.resync_blackout_mean_gap.to_seconds());
+  out += buf;
+  out += "\"events\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& ev = events_[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"t\":%.6f,\"kind\":\"%s\",\"target\":%u%s",
+                  i ? "," : "", ev.at.to_seconds(), to_string(ev.kind),
+                  ev.target, ev.kind == FaultEvent::Kind::kDriftExcursion
+                                 ? "" : "}");
+    out += buf;
+    if (ev.kind == FaultEvent::Kind::kDriftExcursion) {
+      std::snprintf(buf, sizeof buf, ",\"drift\":%g}", ev.drift);
+      out += buf;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace synergy

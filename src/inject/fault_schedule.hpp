@@ -1,0 +1,89 @@
+// Seeded, replayable fault schedules for chaos campaigns.
+//
+// Every source of injected adversity in a mission is derived
+// deterministically from one 64-bit seed plus a rate table:
+//   - per-message network faults (drop/duplicate/reorder/delay/bit-flip)
+//     draw from a stream seeded inside FaultyNetwork;
+//   - per-write storage faults draw from a stream seeded inside each
+//     StableStore;
+//   - the *timed* events — hardware crashes, clock-drift excursions and
+//     resync blackouts — are pre-generated here as an explicit event list.
+// Printing the seed + rates (to_json) is therefore a complete, replayable
+// description of the adversary: re-running the same mission seed
+// reproduces the failure exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "inject/faulty_network.hpp"
+#include "storage/stable_store.hpp"
+
+namespace synergy {
+
+/// Poisson rates for the timed (scheduled) fault classes, per mission.
+struct TimedFaultRates {
+  /// Mean gap between hardware node crashes (0 = none).
+  Duration hw_fault_mean_gap = Duration::seconds(150);
+  /// Mean gap between clock-drift excursions on a random process (0 = none).
+  Duration drift_excursion_mean_gap = Duration::zero();
+  /// Drift magnitude during an excursion, as a multiple of rho.
+  double drift_excursion_factor = 50.0;
+  /// How long an excursion lasts before the oscillator settles back.
+  Duration drift_excursion_duration = Duration::seconds(20);
+  /// Mean gap between resync blackouts (0 = none).
+  Duration resync_blackout_mean_gap = Duration::zero();
+  /// How long the synchronization service stays unreachable.
+  Duration resync_blackout_duration = Duration::seconds(30);
+};
+
+/// Everything the adversary is allowed to do in one mission.
+struct InjectorRates {
+  NetFaultParams net;
+  StorageFaultParams storage;
+  TimedFaultRates timed;
+};
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kHwFault,          ///< Crash node `target` (a = unused).
+    kDriftExcursion,   ///< Push process `target`'s drift to `drift`.
+    kDriftRestore,     ///< Excursion over: restore in-spec drift.
+    kBlackoutStart,    ///< Resync service unreachable from here...
+    kBlackoutEnd,      ///< ...until here.
+  };
+  Kind kind;
+  TimePoint at;
+  std::uint32_t target = 0;  ///< Node/process index, when applicable.
+  double drift = 0.0;        ///< Excursion drift rate, when applicable.
+};
+
+const char* to_string(FaultEvent::Kind kind);
+
+/// The deterministic timed-event list for one mission.
+class FaultSchedule {
+ public:
+  /// Generate the event list for `[start, start+horizon)` from `seed`.
+  /// `rho` scales drift excursions; `n_targets` bounds node selection.
+  static FaultSchedule generate(std::uint64_t seed, const InjectorRates& rates,
+                                TimePoint start, Duration horizon, double rho,
+                                std::uint32_t n_targets);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::uint64_t seed() const { return seed_; }
+  const InjectorRates& rates() const { return rates_; }
+
+  /// Complete replayable description: seed, rates, and the event list.
+  std::string to_json() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  InjectorRates rates_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace synergy

@@ -1,0 +1,100 @@
+#include "inject/faulty_network.hpp"
+
+#include <utility>
+
+namespace synergy {
+
+FaultyNetwork::FaultyNetwork(Simulator& sim, const NetworkParams& params,
+                             const NetFaultParams& faults, Rng rng)
+    : Network(sim, params, rng.split()), faults_(faults),
+      fault_rng_(rng.split()) {}
+
+void FaultyNetwork::send(Message m) {
+  if (!faults_.any()) {
+    Network::send(std::move(m));
+    return;
+  }
+
+  // One roll decides the fault class (if any) for this message; the rolls
+  // are sequential Bernoullis so each class keeps its configured marginal
+  // probability regardless of the others.
+  if (faults_.drop_probability > 0.0 &&
+      fault_rng_.bernoulli(faults_.drop_probability)) {
+    ++drops_;
+    m.sent_at = sim().now();
+    count_sent();
+    count_dropped();
+    return;
+  }
+
+  if (faults_.bitflip_probability > 0.0 &&
+      fault_rng_.bernoulli(faults_.bitflip_probability)) {
+    ++bitflips_;
+    // Corrupt the encoded frame, then run the receiver-NIC integrity
+    // check: CRC mismatch (guaranteed for a single-bit flip) or decode
+    // failure discards the frame. The sender keeps the message in its
+    // unacked log; recovery or retransmission restores it later.
+    ByteWriter w;
+    m.sent_at = sim().now();
+    m.serialize(w);
+    const std::uint32_t sent_crc = crc32(w.data());
+    Bytes frame = w.take();
+    const auto byte = static_cast<std::size_t>(fault_rng_.uniform_int(
+        0, static_cast<std::int64_t>(frame.size()) - 1));
+    const auto bit = static_cast<int>(fault_rng_.uniform_int(0, 7));
+    frame[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    ByteReader r(frame);
+    auto decoded = Message::try_deserialize(r);
+    count_sent();
+    if (!decoded || crc32(frame) != sent_crc) {
+      ++corrupt_dropped_;
+      count_dropped();
+      return;
+    }
+    // Unreachable for single-bit flips (CRC-32 Hamming distance), kept for
+    // model honesty: an undetected-corrupt frame would be delivered as-is.
+    Network::send(std::move(*decoded));
+    return;
+  }
+
+  if (faults_.delay_probability > 0.0 &&
+      fault_rng_.bernoulli(faults_.delay_probability)) {
+    ++delays_;
+    m.sent_at = sim().now();
+    count_sent();
+    const double factor = fault_rng_.uniform(1.0, faults_.delay_factor_max);
+    const auto extra = Duration::micros(static_cast<std::int64_t>(
+        static_cast<double>(params().tmax.count()) * factor));
+    // Bypass FIFO: a delayed message arriving after its successors is the
+    // whole point of the fault.
+    inject(std::move(m), params().tmax + extra, /*respect_fifo=*/false);
+    return;
+  }
+
+  if (faults_.reorder_probability > 0.0 &&
+      fault_rng_.bernoulli(faults_.reorder_probability)) {
+    ++reorders_;
+    m.sent_at = sim().now();
+    count_sent();
+    // A fresh in-bounds delay outside the FIFO map: the message may
+    // overtake earlier traffic on the same channel (or be overtaken).
+    inject(std::move(m), fault_rng_.uniform(params().tmin, params().tmax),
+           /*respect_fifo=*/false);
+    return;
+  }
+
+  if (faults_.duplicate_probability > 0.0 &&
+      fault_rng_.bernoulli(faults_.duplicate_probability)) {
+    ++duplicates_;
+    Message copy = m;
+    Network::send(std::move(m));
+    // The duplicate takes its own delay draw (and its own FIFO slot), so
+    // the two copies can arrive in either order.
+    Network::send(std::move(copy));
+    return;
+  }
+
+  Network::send(std::move(m));
+}
+
+}  // namespace synergy

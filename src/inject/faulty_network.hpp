@@ -1,0 +1,77 @@
+// FaultyNetwork — an adversarial decorator over the bounded-delay network.
+//
+// Sits where the NIC would: every message handed to send() first passes a
+// seeded fault roll that can
+//   - drop it silently (the paper's loss assumption broken persistently),
+//   - duplicate it (the copy takes an independent delay draw; receivers
+//     must dedup on transport_seq),
+//   - reorder it (delivery scheduled outside the per-pair FIFO map, so it
+//     can overtake earlier traffic),
+//   - delay it beyond tmax (breaks the delivery-delay bound the blocking
+//     periods are computed from; the base network reports the violation to
+//     the delivery-bound observer on arrival),
+//   - flip a bit in its encoded payload (the frame CRC catches the damage
+//     and the frame is discarded, exercising the checked-decode path —
+//     undetected corruption is outside the fault model, as in real link
+//     layers).
+// At most one fault is applied per message; rolls are evaluated in the
+// order above. All randomness comes from the injected Rng, so a campaign
+// seed reproduces the exact fault pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+
+namespace synergy {
+
+/// Per-message fault probabilities. Zero everywhere = transparent.
+struct NetFaultParams {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  double delay_probability = 0.0;
+  double bitflip_probability = 0.0;
+  /// Injected delays draw uniformly from (tmax, delay_factor_max * tmax].
+  double delay_factor_max = 3.0;
+
+  bool any() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           reorder_probability > 0.0 || delay_probability > 0.0 ||
+           bitflip_probability > 0.0;
+  }
+};
+
+class FaultyNetwork final : public Network {
+ public:
+  FaultyNetwork(Simulator& sim, const NetworkParams& params,
+                const NetFaultParams& faults, Rng rng);
+
+  void send(Message m) override;
+
+  // ---- Injection statistics ---------------------------------------------
+  std::uint64_t injected_drops() const { return drops_; }
+  std::uint64_t injected_duplicates() const { return duplicates_; }
+  std::uint64_t injected_reorders() const { return reorders_; }
+  std::uint64_t injected_delays() const { return delays_; }
+  std::uint64_t injected_bitflips() const { return bitflips_; }
+  /// Bit-flipped frames discarded by the CRC check (always == bitflips
+  /// unless a flip produced an identical CRC, which CRC-32 precludes for
+  /// single-bit errors).
+  std::uint64_t corrupt_frames_dropped() const { return corrupt_dropped_; }
+  std::uint64_t injected_total() const {
+    return drops_ + duplicates_ + reorders_ + delays_ + bitflips_;
+  }
+
+ private:
+  NetFaultParams faults_;
+  Rng fault_rng_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reorders_ = 0;
+  std::uint64_t delays_ = 0;
+  std::uint64_t bitflips_ = 0;
+  std::uint64_t corrupt_dropped_ = 0;
+};
+
+}  // namespace synergy

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/serialize.hpp"
 #include "common/time.hpp"
@@ -78,7 +79,14 @@ struct Message {
   TimePoint sent_at;
 
   void serialize(ByteWriter& w) const;
+  /// Trusted-path decode: asserts the reader stayed in bounds (in-memory
+  /// snapshots, test fixtures). For bytes of unknown integrity use
+  /// try_deserialize.
   static Message deserialize(ByteReader& r);
+  /// Checked decode: nullopt if the input is truncated or the kind byte is
+  /// out of range. Never aborts — corrupted wire/stable bytes must be
+  /// detected and reported, not crash the process.
+  static std::optional<Message> try_deserialize(ByteReader& r);
 };
 
 /// Messages that carry application-visible content, as opposed to

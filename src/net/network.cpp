@@ -35,8 +35,15 @@ void Message::serialize(ByteWriter& w) const {
 }
 
 Message Message::deserialize(ByteReader& r) {
+  auto m = try_deserialize(r);
+  SYNERGY_ASSERT(m.has_value());  // trusted path: bytes we produced ourselves
+  return *m;
+}
+
+std::optional<Message> Message::try_deserialize(ByteReader& r) {
   Message m;
-  m.kind = static_cast<MsgKind>(r.u8());
+  const std::uint8_t kind = r.u8();
+  m.kind = static_cast<MsgKind>(kind);
   m.sender = ProcessId{r.u32()};
   m.receiver = ProcessId{r.u32()};
   m.transport_seq = r.u64();
@@ -50,6 +57,9 @@ Message Message::deserialize(ByteReader& r) {
   m.epoch = r.u32();
   m.aux = r.bytes();
   m.sent_at = TimePoint{r.i64()};
+  if (!r.ok() || kind > static_cast<std::uint8_t>(MsgKind::kAck)) {
+    return std::nullopt;
+  }
   return m;
 }
 
@@ -79,8 +89,12 @@ void Network::send(Message m) {
     ++dropped_;
     return;
   }
-  TimePoint deliver_at = sim_.now() + rng_.uniform(params_.tmin, params_.tmax);
-  if (params_.fifo) {
+  inject(std::move(m), rng_.uniform(params_.tmin, params_.tmax), params_.fifo);
+}
+
+void Network::inject(Message m, Duration delay, bool respect_fifo) {
+  TimePoint deliver_at = sim_.now() + delay;
+  if (respect_fifo) {
     auto key = std::make_pair(m.sender.value(), m.receiver.value());
     auto it = last_delivery_.find(key);
     if (it != last_delivery_.end()) deliver_at = std::max(deliver_at, it->second);
@@ -98,6 +112,11 @@ void Network::deliver(std::uint64_t delivery_id) {
   Message m = std::move(it->second.msg);
   pending_.erase(it);
   --in_transit_;
+  const Duration lateness = (sim_.now() - m.sent_at) - params_.tmax;
+  if (lateness > Duration::zero()) {
+    ++late_deliveries_;
+    if (bound_observer_) bound_observer_(m, lateness);
+  }
   auto h = handlers_.find(m.receiver);
   if (h == handlers_.end()) {
     ++dropped_;  // receiver crashed or is a sink with no recorder

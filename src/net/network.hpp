@@ -4,6 +4,13 @@
 // the two bounds the TB protocol's blocking periods are computed from.
 // Channels are FIFO per (sender, receiver) pair by default (delivery times
 // are made monotone per pair), matching the paper's system model.
+//
+// send() is virtual so fault-injection decorators (FaultyNetwork) can
+// intercept traffic; the protected inject() primitive lets them schedule
+// deliveries that deliberately break the FIFO/tmax model. Deliveries that
+// land later than sent_at + tmax are reported to the delivery-bound
+// observer — the assumption monitors' hook for detecting that the network
+// left its contract.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +37,13 @@ struct NetworkParams {
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
+  /// Called on every delivery later than sent_at + tmax; `lateness` is the
+  /// amount by which the bound was exceeded.
+  using DeliveryBoundObserver =
+      std::function<void(const Message&, Duration lateness)>;
 
   Network(Simulator& sim, const NetworkParams& params, Rng rng);
+  virtual ~Network() = default;
 
   /// Register the delivery handler for a process. Re-attaching replaces the
   /// previous handler (used when a node restarts after a crash).
@@ -44,11 +56,16 @@ class Network {
   /// Hand a message to the network. Stamps sent_at; schedules delivery.
   /// Messages to kDeviceId are delivered to the device handler if attached,
   /// else counted and dropped (devices are sinks).
-  void send(Message m);
+  virtual void send(Message m);
 
   /// Drop every message currently in transit toward `p` (crash semantics:
   /// a rebooted node must not receive pre-crash messages it never acked).
   void drop_in_transit_to(ProcessId p);
+
+  /// Install the delivery-bound violation observer (assumption monitor).
+  void set_delivery_bound_observer(DeliveryBoundObserver obs) {
+    bound_observer_ = std::move(obs);
+  }
 
   const NetworkParams& params() const { return params_; }
 
@@ -57,6 +74,19 @@ class Network {
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t in_transit() const { return in_transit_; }
+  /// Deliveries observed beyond the tmax contract (injected delays).
+  std::uint64_t late_deliveries() const { return late_deliveries_; }
+
+ protected:
+  /// Schedule delivery of an already-stamped message after `delay`.
+  /// `respect_fifo == false` bypasses the per-pair ordering map, letting
+  /// injectors reorder or delay a message past the model's bounds.
+  void inject(Message m, Duration delay, bool respect_fifo);
+
+  Simulator& sim() { return sim_; }
+  Rng& rng() { return rng_; }
+  void count_sent() { ++sent_; }
+  void count_dropped() { ++dropped_; }
 
  private:
   void deliver(std::uint64_t delivery_id);
@@ -72,11 +102,13 @@ class Network {
     EventHandle handle;
   };
   std::unordered_map<std::uint64_t, PendingDelivery> pending_;
+  DeliveryBoundObserver bound_observer_;
   std::uint64_t next_delivery_id_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t in_transit_ = 0;
+  std::uint64_t late_deliveries_ = 0;
 };
 
 }  // namespace synergy

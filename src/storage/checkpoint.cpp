@@ -1,5 +1,7 @@
 #include "storage/checkpoint.hpp"
 
+#include "common/assert.hpp"
+
 namespace synergy {
 
 const char* to_string(CkptKind kind) {
@@ -13,6 +15,7 @@ const char* to_string(CkptKind kind) {
 }
 
 void CheckpointRecord::serialize(ByteWriter& w) const {
+  const std::size_t start = w.data().size();
   w.u8(static_cast<std::uint8_t>(kind));
   w.u32(owner.value());
   w.i64(established_at.count());
@@ -24,11 +27,23 @@ void CheckpointRecord::serialize(ByteWriter& w) const {
   w.bytes(transport_state);
   w.u32(static_cast<std::uint32_t>(unacked.size()));
   for (const auto& m : unacked) m.serialize(w);
+  // Trailing checksum over this record's own bytes: the decode side
+  // recomputes it to detect torn writes and latent corruption.
+  w.u32(crc32(w.data().data() + start, w.data().size() - start));
 }
 
 CheckpointRecord CheckpointRecord::deserialize(ByteReader& r) {
+  auto c = try_deserialize(r);
+  SYNERGY_ASSERT(c.has_value());  // trusted path: bytes we produced ourselves
+  return *c;
+}
+
+std::optional<CheckpointRecord> CheckpointRecord::try_deserialize(
+    ByteReader& r) {
+  const std::size_t start = r.position();
   CheckpointRecord c;
-  c.kind = static_cast<CkptKind>(r.u8());
+  const std::uint8_t kind = r.u8();
+  c.kind = static_cast<CkptKind>(kind);
   c.owner = ProcessId{r.u32()};
   c.established_at = TimePoint{r.i64()};
   c.state_time = TimePoint{r.i64()};
@@ -38,9 +53,28 @@ CheckpointRecord CheckpointRecord::deserialize(ByteReader& r) {
   c.protocol_state = r.bytes();
   c.transport_state = r.bytes();
   const std::uint32_t n = r.u32();
+  // A corrupted count would otherwise drive a near-infinite decode loop;
+  // every logged message occupies >= 1 byte, so cap by the input size.
+  if (n > r.underlying().size()) {
+    r.fail();
+    return std::nullopt;
+  }
   c.unacked.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    c.unacked.push_back(Message::deserialize(r));
+    auto m = Message::try_deserialize(r);
+    if (!m) return std::nullopt;
+    c.unacked.push_back(std::move(*m));
+  }
+  const std::size_t body_end = r.position();
+  const std::uint32_t stored_crc = r.u32();
+  if (!r.ok() || kind > static_cast<std::uint8_t>(CkptKind::kStable)) {
+    return std::nullopt;
+  }
+  const std::uint32_t computed =
+      crc32(r.underlying().data() + start, body_end - start);
+  if (computed != stored_crc) {
+    r.fail();
+    return std::nullopt;
   }
   return c;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/serialize.hpp"
@@ -64,8 +65,17 @@ struct CheckpointRecord {
   /// recovery (stable checkpoints only; empty for volatile records).
   std::vector<Message> unacked;
 
+  /// Encoding ends with a CRC-32 over the record's own bytes, so storage
+  /// corruption (torn writes, latent bit rot, truncation) is detectable at
+  /// decode time.
   void serialize(ByteWriter& w) const;
+  /// Trusted-path decode: asserts integrity (in-memory volatile records,
+  /// test fixtures). For bytes read back from storage use try_deserialize.
   static CheckpointRecord deserialize(ByteReader& r);
+  /// Checked decode: nullopt on truncated input or checksum mismatch.
+  /// Never aborts — a corrupted stable blob must be detected and reported
+  /// so recovery can fall back to an older retained record.
+  static std::optional<CheckpointRecord> try_deserialize(ByteReader& r);
 
   /// Encoded size in bytes (what a stable write actually persists).
   std::size_t encoded_size() const;

@@ -66,7 +66,9 @@ std::optional<CheckpointRecord> FileStableStore::committed_for(
   Bytes data((std::istreambuf_iterator<char>(in)),
              std::istreambuf_iterator<char>());
   ByteReader r(data);
-  return CheckpointRecord::deserialize(r);
+  // Checked decode: a truncated or bit-rotted checkpoint file is reported
+  // as absent (caller falls back to an older retained file), never fatal.
+  return CheckpointRecord::try_deserialize(r);
 }
 
 StableSeq FileStableStore::latest_ndc() const {
@@ -75,9 +77,13 @@ StableSeq FileStableStore::latest_ndc() const {
 }
 
 std::optional<CheckpointRecord> FileStableStore::latest_committed() const {
+  // Newest intact checkpoint wins; a corrupted newest file falls back to
+  // the previous retained one.
   const auto indices = retained();
-  if (indices.empty()) return std::nullopt;
-  return committed_for(indices.back());
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    if (auto rec = committed_for(*it)) return rec;
+  }
+  return std::nullopt;
 }
 
 void FileStableStore::wipe() {

@@ -1,5 +1,6 @@
 #include "storage/stable_store.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -16,17 +17,25 @@ void StableStore::begin_write(CheckpointRecord record,
                               CommitCallback on_commit) {
   SYNERGY_EXPECTS(!in_progress_.has_value());
   const Duration latency = write_latency_for(record);
-  in_progress_ = InProgress{std::move(record), std::move(on_commit), {}};
+  in_progress_ = InProgress{std::move(record), std::move(on_commit), {}, 0,
+                            sim_.now() + latency};
   in_progress_->handle = sim_.schedule_after(latency, [this] { commit(); });
 }
 
 void StableStore::replace_in_progress(CheckpointRecord record) {
   SYNERGY_EXPECTS(in_progress_.has_value());
   sim_.cancel(in_progress_->handle);
-  ++aborts_;
+  ++replace_aborts_;
   const Duration latency = write_latency_for(record);
   in_progress_->record = std::move(record);
+  in_progress_->attempt = 0;
+  in_progress_->expected_commit = sim_.now() + latency;
   in_progress_->handle = sim_.schedule_after(latency, [this] { commit(); });
+}
+
+std::optional<TimePoint> StableStore::write_deadline() const {
+  if (!in_progress_) return std::nullopt;
+  return in_progress_->expected_commit;
 }
 
 void StableStore::retain(StableSeq ndc, Bytes encoded) {
@@ -45,16 +54,71 @@ void StableStore::retain(StableSeq ndc, Bytes encoded) {
 
 void StableStore::commit() {
   SYNERGY_ASSERT(in_progress_.has_value());
+
+  // Transient write error: the device rejected the write. Retry with
+  // doubling backoff (plus a full re-transfer) up to the budget, then
+  // abandon the write — the record is lost exactly like a crash abort,
+  // and the next checkpoint interval (or the write watchdog) makes up
+  // for it.
+  if (params_.faults.write_error_probability > 0.0 &&
+      fault_rng_.bernoulli(params_.faults.write_error_probability)) {
+    if (in_progress_->attempt < params_.faults.max_write_retries) {
+      ++write_retries_;
+      Duration backoff = params_.faults.retry_backoff;
+      for (std::size_t i = 0; i < in_progress_->attempt; ++i) backoff = backoff * 2;
+      ++in_progress_->attempt;
+      const Duration latency = backoff + write_latency_for(in_progress_->record);
+      in_progress_->expected_commit = sim_.now() + latency;
+      in_progress_->handle = sim_.schedule_after(latency, [this] { commit(); });
+      return;
+    }
+    ++failed_writes_;
+    abandoned_ = std::move(in_progress_->record);
+    in_progress_.reset();
+    return;
+  }
+
   ByteWriter w;
   in_progress_->record.serialize(w);
   bytes_written_ += w.data().size();
   const StableSeq ndc = in_progress_->record.ndc;
-  retain(ndc, w.take());
+  Bytes encoded = w.take();
+
+  // Torn write: only a prefix of the record reaches the platter, but the
+  // writer is told the commit succeeded. The CRC inside the encoding makes
+  // the damage detectable at the next read.
+  if (params_.faults.torn_write_probability > 0.0 &&
+      fault_rng_.bernoulli(params_.faults.torn_write_probability) &&
+      encoded.size() > 1) {
+    const auto keep = static_cast<std::size_t>(fault_rng_.uniform_int(
+        1, static_cast<std::int64_t>(encoded.size()) - 1));
+    encoded.resize(keep);
+    ++torn_writes_;
+  }
+
+  retain(ndc, std::move(encoded));
   ++commits_;
+  apply_post_commit_faults();
   CommitCallback cb = std::move(in_progress_->on_commit);
   CheckpointRecord rec = std::move(in_progress_->record);
   in_progress_.reset();
   if (cb) cb(rec);
+}
+
+void StableStore::apply_post_commit_faults() {
+  if (params_.faults.latent_corruption_probability <= 0.0 ||
+      history_.empty() ||
+      !fault_rng_.bernoulli(params_.faults.latent_corruption_probability)) {
+    return;
+  }
+  auto& victim = history_[static_cast<std::size_t>(fault_rng_.uniform_int(
+      0, static_cast<std::int64_t>(history_.size()) - 1))];
+  if (victim.encoded.empty()) return;
+  const auto byte = static_cast<std::size_t>(fault_rng_.uniform_int(
+      0, static_cast<std::int64_t>(victim.encoded.size()) - 1));
+  const auto bit = static_cast<int>(fault_rng_.uniform_int(0, 7));
+  victim.encoded[byte] ^= static_cast<std::uint8_t>(1u << bit);
+  ++latent_corruptions_;
 }
 
 void StableStore::commit_now(CheckpointRecord record) {
@@ -66,25 +130,65 @@ void StableStore::commit_now(CheckpointRecord record) {
   ++commits_;
 }
 
+std::optional<CheckpointRecord> StableStore::decode(
+    const Bytes& encoded) const {
+  ByteReader r(encoded);
+  auto rec = CheckpointRecord::try_deserialize(r);
+  if (!rec) ++corrupt_reads_;
+  return rec;
+}
+
 std::optional<CheckpointRecord> StableStore::latest_committed() const {
-  if (history_.empty()) return std::nullopt;
-  ByteReader r(history_.back().encoded);
-  return CheckpointRecord::deserialize(r);
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (auto rec = decode(it->encoded)) return rec;
+  }
+  return std::nullopt;
 }
 
 StableSeq StableStore::latest_ndc() const {
   return history_.empty() ? 0 : history_.back().ndc;
 }
 
+StableSeq StableStore::latest_valid_ndc() const {
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    ByteReader r(it->encoded);
+    if (CheckpointRecord::try_deserialize(r)) return it->ndc;
+  }
+  return 0;
+}
+
 std::optional<CheckpointRecord> StableStore::committed_for(
     StableSeq ndc) const {
   for (const auto& c : history_) {
-    if (c.ndc == ndc) {
-      ByteReader r(c.encoded);
-      return CheckpointRecord::deserialize(r);
-    }
+    if (c.ndc == ndc) return decode(c.encoded);
   }
   return std::nullopt;
+}
+
+std::optional<CheckpointRecord> StableStore::best_valid_at_most(
+    StableSeq ndc) const {
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->ndc > ndc) continue;
+    if (auto rec = decode(it->encoded)) return rec;
+  }
+  return std::nullopt;
+}
+
+bool StableStore::has_valid(StableSeq ndc) const {
+  for (const auto& c : history_) {
+    if (c.ndc == ndc) {
+      ByteReader r(c.encoded);
+      return CheckpointRecord::try_deserialize(r).has_value();
+    }
+  }
+  return false;
+}
+
+std::vector<StableSeq> StableStore::retained_ndcs() const {
+  std::vector<StableSeq> out;
+  out.reserve(history_.size());
+  for (const auto& c : history_) out.push_back(c.ndc);
+  return out;
 }
 
 void StableStore::discard_above(StableSeq ndc) {
@@ -96,7 +200,29 @@ void StableStore::crash_abort_in_progress() {
   if (!in_progress_) return;
   sim_.cancel(in_progress_->handle);
   in_progress_.reset();
-  ++aborts_;
+  ++crash_aborts_;
+}
+
+bool StableStore::corrupt_retained(StableSeq ndc) {
+  for (auto& c : history_) {
+    if (c.ndc == ndc && !c.encoded.empty()) {
+      c.encoded[c.encoded.size() / 2] ^= 0x10;
+      ++latent_corruptions_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StableStore::truncate_retained(StableSeq ndc, std::size_t keep) {
+  for (auto& c : history_) {
+    if (c.ndc == ndc && keep < c.encoded.size()) {
+      c.encoded.resize(keep);
+      ++torn_writes_;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace synergy

@@ -11,6 +11,15 @@
 //     record survives.
 // Committed records persist encoded (byte blobs), so restore() exercises
 // real (de)serialization exactly like a disk would.
+//
+// The paper assumes stable storage never fails; the chaos campaigns break
+// that assumption on purpose. StorageFaultParams injects three failure
+// modes — transient write errors (retried with bounded backoff), torn
+// writes (a truncated blob committed as if whole), and latent corruption
+// of an already-committed record. Every read decodes through the record
+// checksum, so a damaged record is *detected* (counted in corrupt_reads)
+// and skipped in favour of the previous retained record, never returned
+// as data and never allowed to crash the process.
 #pragma once
 
 #include <cstdint>
@@ -18,15 +27,39 @@
 #include <optional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "sim/simulator.hpp"
 #include "storage/checkpoint.hpp"
 
 namespace synergy {
 
+/// Adversarial failure modes for the simulated disk. All probabilities are
+/// per write attempt (write_error), per commit (torn_write, latent
+/// corruption). Zero everywhere = the paper's ideal stable storage.
+struct StorageFaultParams {
+  /// A write attempt fails outright and is retried after a backoff.
+  double write_error_probability = 0.0;
+  /// A commit persists only a prefix of the record (power-cut model); the
+  /// writer is *not* told — detection happens at read time via the CRC.
+  double torn_write_probability = 0.0;
+  /// After a commit, one random bit of one random retained record flips.
+  double latent_corruption_probability = 0.0;
+  /// Retry budget for failed write attempts before the write is abandoned.
+  std::size_t max_write_retries = 4;
+  /// Backoff before the first retry; doubles on each further retry.
+  Duration retry_backoff = Duration::millis(2);
+
+  bool any() const {
+    return write_error_probability > 0.0 || torn_write_probability > 0.0 ||
+           latent_corruption_probability > 0.0;
+  }
+};
+
 struct StableStoreParams {
   Duration write_base_latency = Duration::millis(5);
   /// Additional latency per KiB written (models transfer time).
   Duration write_per_kib = Duration::micros(100);
+  StorageFaultParams faults;
 };
 
 class StableStore {
@@ -34,10 +67,14 @@ class StableStore {
   using CommitCallback = std::function<void(const CheckpointRecord&)>;
 
   StableStore(Simulator& sim, const StableStoreParams& params)
-      : sim_(sim), params_(params) {}
+      : sim_(sim), params_(params), fault_rng_(0) {}
 
   StableStore(const StableStore&) = delete;
   StableStore& operator=(const StableStore&) = delete;
+
+  /// Seed the fault-injection stream (campaigns); without this, injected
+  /// faults draw from a fixed default stream.
+  void seed_faults(Rng rng) { fault_rng_ = rng; }
 
   /// Begin writing `record`; it commits after the modelled latency, then
   /// `on_commit` (if any) fires. Only one write may be in progress.
@@ -50,24 +87,48 @@ class StableStore {
 
   bool write_in_progress() const { return in_progress_.has_value(); }
 
+  /// When a write is in progress: the instant it is expected to commit
+  /// (includes pending retry backoffs). The stable-write watchdog compares
+  /// this against now + slack.
+  std::optional<TimePoint> write_deadline() const;
+
   /// Commit `record` immediately, aborting any in-progress write. Used at
   /// deployment time (initial checkpoint before the mission starts) and by
   /// recovery managers establishing a fresh recovery line; not part of the
-  /// modelled steady-state write path.
+  /// modelled steady-state write path. Never fault-injected (the recovery
+  /// path is modelled as a verified write-through).
   void commit_now(CheckpointRecord record);
 
-  /// The most recently committed checkpoint, decoded. Empty if none.
+  /// The most recently committed checkpoint that decodes cleanly. A
+  /// corrupted newest record is skipped (counted in corrupt_reads) and the
+  /// previous retained record is returned instead. Empty if none decodes.
   std::optional<CheckpointRecord> latest_committed() const;
 
   /// Ndc of the most recently committed checkpoint (0 if none). Recovery
   /// uses this to find the last *common* checkpoint index across nodes.
   StableSeq latest_ndc() const;
 
-  /// The committed checkpoint with the given Ndc, if still retained. The
-  /// store keeps a short history (kHistoryDepth) precisely so that a
-  /// recovery can roll back to the last common index when a fault lands in
-  /// the timer-skew window and nodes' latest indices differ.
+  /// Ndc of the newest retained record that decodes cleanly (0 if none).
+  /// This is what recovery-line selection must use when storage may lie.
+  StableSeq latest_valid_ndc() const;
+
+  /// The committed checkpoint with the given Ndc, if still retained and
+  /// intact. The store keeps a short history (kHistoryDepth) precisely so
+  /// that a recovery can roll back to the last common index when a fault
+  /// lands in the timer-skew window and nodes' latest indices differ.
+  /// Returns nullopt (never aborts) when the record is corrupted.
   std::optional<CheckpointRecord> committed_for(StableSeq ndc) const;
+
+  /// Newest intact record with index <= `ndc` — the checksum-mismatch
+  /// fallback path: when the record at the recovery line fails to decode,
+  /// recovery proceeds from the previous retained record.
+  std::optional<CheckpointRecord> best_valid_at_most(StableSeq ndc) const;
+
+  /// True iff a retained record with this index decodes cleanly.
+  bool has_valid(StableSeq ndc) const;
+
+  /// Indices of all retained records, oldest first.
+  std::vector<StableSeq> retained_ndcs() const;
 
   /// Drop every retained record with index > `ndc`. Recovery calls this on
   /// all survivors: records committed during the repair window belong to
@@ -78,10 +139,40 @@ class StableStore {
   /// survives.
   void crash_abort_in_progress();
 
+  /// The record of the most recently abandoned write (retry budget
+  /// exhausted), handed over at most once. The stable-write watchdog
+  /// claims it and degrades to a forced write-through commit, so the
+  /// checkpoint content — built at the interval boundary — is preserved
+  /// rather than re-fabricated from a later state.
+  std::optional<CheckpointRecord> take_abandoned() {
+    auto out = std::move(abandoned_);
+    abandoned_.reset();
+    return out;
+  }
+
+  // ---- Deterministic damage (tests / targeted injection) -----------------
+  /// Flip one bit near the middle of the retained record with index `ndc`.
+  bool corrupt_retained(StableSeq ndc);
+  /// Truncate the retained record with index `ndc` to `keep` bytes.
+  bool truncate_retained(StableSeq ndc, std::size_t keep);
+
   Duration write_latency_for(const CheckpointRecord& record) const;
 
+  // ---- Statistics --------------------------------------------------------
   std::uint64_t commits() const { return commits_; }
-  std::uint64_t aborts() const { return aborts_; }
+  /// Every way a write in progress can end without committing its
+  /// contents: crash aborts + replacements + abandoned (retries exhausted).
+  std::uint64_t aborts() const {
+    return crash_aborts_ + replace_aborts_ + failed_writes_;
+  }
+  std::uint64_t crash_aborts() const { return crash_aborts_; }
+  std::uint64_t replace_aborts() const { return replace_aborts_; }
+  std::uint64_t failed_writes() const { return failed_writes_; }
+  std::uint64_t write_retries() const { return write_retries_; }
+  std::uint64_t torn_writes() const { return torn_writes_; }
+  std::uint64_t latent_corruptions() const { return latent_corruptions_; }
+  /// Reads that hit a record failing its checksum/decode.
+  std::uint64_t corrupt_reads() const { return corrupt_reads_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
 
  private:
@@ -89,11 +180,15 @@ class StableStore {
 
   void commit();
   void retain(StableSeq ndc, Bytes encoded);
+  void apply_post_commit_faults();
+  std::optional<CheckpointRecord> decode(const Bytes& encoded) const;
 
   struct InProgress {
     CheckpointRecord record;
     CommitCallback on_commit;
     EventHandle handle;
+    std::size_t attempt = 0;
+    TimePoint expected_commit;
   };
   struct Committed {
     StableSeq ndc;
@@ -102,10 +197,18 @@ class StableStore {
 
   Simulator& sim_;
   StableStoreParams params_;
+  Rng fault_rng_;
   std::optional<InProgress> in_progress_;
+  std::optional<CheckpointRecord> abandoned_;
   std::vector<Committed> history_;  // oldest first, capped at kHistoryDepth
   std::uint64_t commits_ = 0;
-  std::uint64_t aborts_ = 0;
+  std::uint64_t crash_aborts_ = 0;
+  std::uint64_t replace_aborts_ = 0;
+  std::uint64_t failed_writes_ = 0;
+  std::uint64_t write_retries_ = 0;
+  std::uint64_t torn_writes_ = 0;
+  std::uint64_t latent_corruptions_ = 0;
+  mutable std::uint64_t corrupt_reads_ = 0;
   std::uint64_t bytes_written_ = 0;
 };
 

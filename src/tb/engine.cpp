@@ -80,6 +80,9 @@ void TbEngine::stop() {
   blocking_active_ = false;
   watching_confidence_ = false;
   started_ = false;
+  // A stop/restart (crash + recovery) makes the next boundary gap span the
+  // outage; it is not evidence about the oscillator.
+  have_last_ckpt_true_ = false;
 }
 
 void TbEngine::reset_after_recovery(StableSeq restored_ndc) {
@@ -103,12 +106,63 @@ void TbEngine::set_resync_requester(std::function<void()> fn) {
   resync_requester_ = std::move(fn);
 }
 
+void TbEngine::set_overrun_observer(std::function<void(Duration, Duration)> fn) {
+  overrun_observer_ = std::move(fn);
+}
+
+bool TbEngine::widen_delay_bound(Duration observed_tmax) {
+  if (observed_tmax <= params_.tmax) return false;
+  params_.tmax = observed_tmax;
+  ++tau_widenings_;
+  if (trace_) {
+    trace_->record(mdcd_.current_time(), mdcd_.self(),
+                   TraceKind::kDegradation, "widen_tau",
+                   static_cast<std::uint64_t>(observed_tmax.count()));
+  }
+  return true;
+}
+
+Duration TbEngine::drift_allowance(Duration span) const {
+  const auto drift_term = static_cast<std::int64_t>(
+      std::ceil(2.0 * params_.rho * static_cast<double>(span.count())));
+  // A resync inside the span can jump the local clock by up to delta; the
+  // +2us absorbs timer rounding to microsecond granularity.
+  return Duration::micros(drift_term) + params_.delta + Duration::micros(2);
+}
+
+void TbEngine::report_overrun(Duration actual, Duration allowed) {
+  ++overruns_;
+  if (trace_) {
+    trace_->record(mdcd_.current_time(), mdcd_.self(),
+                   TraceKind::kBlockingOverrun, {},
+                   static_cast<std::uint64_t>(actual.count()),
+                   static_cast<std::uint64_t>(allowed.count()));
+  }
+  if (overrun_observer_) overrun_observer_(actual, allowed);
+}
+
 void TbEngine::create_ckpt() {
   ckpt_timer_ = 0;
   if (!mdcd_.alive()) return;  // crashed node: no checkpointing
 
   const bool contaminated = mdcd_.contamination_flag();
   ndc_ = boundary_index(next_ckpt_local_, params_.interval);
+
+  // Checkpoint-cadence monitor: boundaries are one interval apart on the
+  // local clock, so their true-time gap must sit inside the drift
+  // allowance. A gap outside the envelope means the oscillator is running
+  // beyond its rho spec (or resyncs have stopped compensating for it).
+  const TimePoint now_true = mdcd_.current_time();
+  if (have_last_ckpt_true_) {
+    const Duration gap = now_true - last_ckpt_true_;
+    const Duration allowance = drift_allowance(params_.interval);
+    if (gap > params_.interval + allowance ||
+        gap + allowance < params_.interval) {
+      report_overrun(gap, params_.interval + allowance);
+    }
+  }
+  last_ckpt_true_ = now_true;
+  have_last_ckpt_true_ = true;
 
   // Choose contents (Figure 5: write_disk(current,0,null) vs
   // write_disk(rCKPT,1,current)).
@@ -156,6 +210,8 @@ void TbEngine::create_ckpt() {
     blocking_active_ = true;
     watching_confidence_ =
         params_.variant == TbVariant::kAdapted && contaminated;
+    block_start_true_ = now_true;
+    block_expected_ = tau;
     mdcd_.begin_blocking();
     blocking_timer_ =
         timers_.schedule_after_local(tau, [this] { end_blocking(); });
@@ -185,6 +241,9 @@ void TbEngine::end_blocking() {
   blocking_timer_ = 0;
   blocking_active_ = false;
   watching_confidence_ = false;
+  const Duration actual = mdcd_.current_time() - block_start_true_;
+  const Duration allowed = block_expected_ + drift_allowance(block_expected_);
+  if (actual > allowed) report_overrun(actual, allowed);
   if (mdcd_.in_blocking()) mdcd_.end_blocking();
 }
 

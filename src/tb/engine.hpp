@@ -56,6 +56,25 @@ class TbEngine {
   /// ClockEnsemble::resync_all, possibly via a latency model).
   void set_resync_requester(std::function<void()> fn);
 
+  // ---- Assumption monitoring & graceful degradation --------------------
+  /// Current parameters. tmax may have been widened by degradation.
+  const TbParams& params() const { return params_; }
+
+  /// Degradation hook: raise the assumed delivery-delay bound to at least
+  /// `observed_tmax` (monotone — never narrows). Subsequent blocking
+  /// periods use the widened tau(b), restoring the coverage guarantee
+  /// after a delivery-bound violation. Returns true if the bound changed.
+  bool widen_delay_bound(Duration observed_tmax);
+
+  /// Observer fired when the true duration of a blocking period — or the
+  /// true gap between consecutive checkpoint boundaries — falls outside
+  /// its drift-allowance envelope (arguments: actual, allowed bound).
+  /// Out-of-envelope cadence means a clock is drifting beyond rho.
+  void set_overrun_observer(std::function<void(Duration, Duration)> fn);
+
+  std::uint64_t overruns() const { return overruns_; }
+  std::uint64_t tau_widenings() const { return tau_widenings_; }
+
   // ---- Statistics ------------------------------------------------------
   std::uint64_t checkpoints_taken() const { return ckpts_; }
   std::uint64_t copy_contents() const { return copies_; }
@@ -74,6 +93,10 @@ class TbEngine {
   void create_ckpt();
   void end_blocking();
   void on_contamination_cleared();
+  /// Permitted true-time deviation for a local-clock span of `span`:
+  /// in-spec drift plus one resync offset jump plus timer granularity.
+  Duration drift_allowance(Duration span) const;
+  void report_overrun(Duration actual, Duration allowed);
 
   TbParams params_;
   CheckpointableProcess& mdcd_;
@@ -82,6 +105,7 @@ class TbEngine {
   std::function<Duration()> elapsed_since_resync_;
   TraceLog* trace_;
   std::function<void()> resync_requester_;
+  std::function<void(Duration, Duration)> overrun_observer_;
 
   StableSeq ndc_ = 0;
   TimePoint next_ckpt_local_;
@@ -91,11 +115,18 @@ class TbEngine {
   bool blocking_active_ = false;
   bool watching_confidence_ = false;
 
+  TimePoint last_ckpt_true_;
+  bool have_last_ckpt_true_ = false;
+  TimePoint block_start_true_;
+  Duration block_expected_ = Duration::zero();
+
   std::uint64_t ckpts_ = 0;
   std::uint64_t copies_ = 0;
   std::uint64_t currents_ = 0;
   std::uint64_t replacements_ = 0;
   std::uint64_t resync_requests_ = 0;
+  std::uint64_t overruns_ = 0;
+  std::uint64_t tau_widenings_ = 0;
   Duration total_blocking_ = Duration::zero();
   Duration last_blocking_ = Duration::zero();
 };

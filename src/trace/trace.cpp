@@ -40,6 +40,12 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kHwRestore: return "hw_restore";
     case TraceKind::kResendUnacked: return "resend_unacked";
     case TraceKind::kHwRecoveryDone: return "hw_recovery_done";
+    case TraceKind::kBoundViolation: return "bound_violation";
+    case TraceKind::kBlockingOverrun: return "blocking_overrun";
+    case TraceKind::kStableTimeout: return "stable_timeout";
+    case TraceKind::kCorruptRecord: return "corrupt_record";
+    case TraceKind::kLineInconsistent: return "line_inconsistent";
+    case TraceKind::kDegradation: return "degradation";
   }
   return "?";
 }

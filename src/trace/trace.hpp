@@ -51,6 +51,13 @@ enum class TraceKind : std::uint8_t {
   kHwRestore,       ///< Process state restored from stable storage.
   kResendUnacked,
   kHwRecoveryDone,
+  // ---- Assumption violations & graceful degradation (chaos campaigns) ----
+  kBoundViolation,  ///< Message delivered later than sent + tmax (a=lateness us).
+  kBlockingOverrun, ///< Blocking/cadence span outside drift envelope (a=actual, b=allowed).
+  kStableTimeout,   ///< Stable write missed its commit deadline (a=Ndc).
+  kCorruptRecord,   ///< Stable record failed its integrity check (a=Ndc).
+  kLineInconsistent, ///< Line self-audit found inconsistent records (a=count).
+  kDegradation,     ///< Degradation applied (detail: widen_tau | write_through | resend_unacked | reline).
 };
 
 const char* to_string(TraceKind kind);

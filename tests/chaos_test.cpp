@@ -93,6 +93,97 @@ INSTANTIATE_TEST_SUITE_P(Soak, ChaosSoak, ::testing::ValuesIn(chaos_cases()),
                          });
 
 // ---------------------------------------------------------------------------
+// Injector-driven chaos: the network adversary is on, the assumption
+// monitor is installed, and the paper's oracles must still hold.
+// ---------------------------------------------------------------------------
+TEST(InjectedChaosTest, DeliveryBoundViolationTriggersDegradation) {
+  // Injected delays beyond tmax break the delivery-delay bound the
+  // blocking periods are computed from. The monitor must detect every
+  // breach and degrade by widening the assumed bound (longer tau(b),
+  // intact guarantees) — and the mission must end with clean oracles.
+  SystemConfig c;
+  c.scheme = Scheme::kCoordinated;
+  c.seed = 301;
+  c.net_faults.delay_probability = 0.05;
+  c.net_faults.delay_factor_max = 4.0;
+  c.enable_monitor = true;
+  c.workload.p1_internal_rate = 3.0;
+  c.workload.p2_internal_rate = 3.0;
+  c.workload.p1_external_rate = 0.3;
+  c.workload.p2_external_rate = 0.3;
+  c.tb.interval = Duration::seconds(10);
+  System system(c);
+  system.start(TimePoint::origin() + Duration::seconds(300));
+  system.run();
+
+  ASSERT_NE(system.faulty_net(), nullptr);
+  EXPECT_GT(system.faulty_net()->injected_delays(), 0u);
+  ASSERT_NE(system.monitor(), nullptr);
+  const MonitorStats& stats = system.monitor()->stats();
+  EXPECT_GT(stats.bound_violations, 0u);
+  EXPECT_GT(stats.tau_widenings, 0u);  // the degradation actually fired
+
+  const GlobalState line = system.stable_line_state();
+  EXPECT_TRUE(check_consistency(line).empty());
+  EXPECT_TRUE(check_recoverability(line).empty());
+  for (const auto& e : system.device().entries) EXPECT_FALSE(e.tainted);
+}
+
+TEST(InjectedChaosTest, FullInjectorStackStaysClean) {
+  // Everything at once — drops, duplicates, reorders, delays, bit-flips,
+  // storage write errors, torn writes, latent corruption, plus hardware
+  // faults — against the hardened coordinated scheme. The paper's oracles
+  // must hold at every audit, and no corrupted record may crash anything.
+  for (std::uint64_t seed : {401u, 402u, 403u}) {
+    SystemConfig c;
+    c.scheme = Scheme::kCoordinated;
+    c.seed = seed;
+    c.net_faults.drop_probability = 0.01;
+    c.net_faults.duplicate_probability = 0.01;
+    c.net_faults.reorder_probability = 0.02;
+    c.net_faults.delay_probability = 0.002;
+    c.net_faults.bitflip_probability = 0.005;
+    c.sstore.faults.write_error_probability = 0.05;
+    c.sstore.faults.torn_write_probability = 0.02;
+    c.sstore.faults.latent_corruption_probability = 0.01;
+    c.enable_monitor = true;
+    c.harden_recovery = true;
+    c.workload.p1_internal_rate = 3.0;
+    c.workload.p2_internal_rate = 3.0;
+    c.workload.p1_external_rate = 0.3;
+    c.workload.p2_external_rate = 0.3;
+    c.tb.interval = Duration::seconds(10);
+    c.repair_latency = Duration::seconds(2);
+    System system(c);
+    const Duration horizon = Duration::seconds(400);
+    system.start(TimePoint::origin() + horizon);
+    system.schedule_hw_fault(TimePoint::origin() + Duration::seconds(150),
+                             NodeId{static_cast<std::uint32_t>(seed % 3)});
+
+    std::size_t violations = 0;
+    for (int s = 45; s < 400; s += 45) {
+      system.sim().schedule_at(
+          TimePoint::origin() + Duration::seconds(s), [&] {
+            const GlobalState line = system.stable_line_state();
+            violations += check_consistency(line).size() +
+                          check_recoverability(line).size() +
+                          check_software_recoverability(line).size();
+          });
+    }
+    system.run();
+
+    EXPECT_EQ(violations, 0u) << "seed " << seed;
+    ASSERT_NE(system.faulty_net(), nullptr);
+    EXPECT_GT(system.faulty_net()->injected_total(), 0u) << "seed " << seed;
+    ASSERT_NE(system.monitor(), nullptr);
+    EXPECT_GT(system.monitor()->stats().violations(), 0u) << "seed " << seed;
+    for (const auto& e : system.device().entries) {
+      EXPECT_FALSE(e.tainted) << "seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Imperfect acceptance tests: with coverage < 1 the protocols cannot
 // guarantee taint-freedom (missed detections legitimately slip through),
 // but the *structural* properties must still hold.

@@ -3,6 +3,7 @@
 //   synergy run   [options]   run one mission and report what happened
 //   synergy sweep [options]   Monte-Carlo rollback-distance sweep (CSV)
 //   synergy model [options]   evaluate the closed-form rollback model
+//   synergy chaos [options]   seeded fault-injection campaign
 //
 // Run `synergy help` for the full option list. Examples:
 //
@@ -10,15 +11,19 @@
 //   synergy run --sw-error 900 --timeline
 //   synergy run --scheme naive --seed 7 --check --trace-csv trace.csv
 //   synergy sweep --rates 60,100,140,200 --reps 40 > fig7.csv
+//   synergy chaos --reps 50 --seed 1
+//   synergy chaos --replay 13665873534402006364
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/checkers.hpp"
 #include "analysis/model.hpp"
+#include "core/campaign.hpp"
 #include "core/experiment.hpp"
 #include "core/system.hpp"
 #include "trace/export.hpp"
@@ -35,6 +40,7 @@ USAGE
   synergy run   [options]    run one mission
   synergy sweep [options]    rollback-distance sweep, CSV on stdout
   synergy model [options]    closed-form rollback model
+  synergy chaos [options]    seeded fault-injection campaign
   synergy help
 
 RUN OPTIONS
@@ -66,6 +72,28 @@ MODEL OPTIONS
   --lambda-dirty R    contamination rate [1/s]
   --lambda-valid R    validation rate [1/s]
   --interval SECS     Delta
+
+CHAOS OPTIONS
+  --reps N            missions to run (default 50)
+  --seed N            campaign seed; mission seeds derive from it (default 1)
+  --duration SECS     mission length (default 600)
+  --scheme S          as for run (default coordinated)
+  --replay SEED       re-run exactly one mission with this mission seed
+                      (printed by a failing campaign) and dump its report
+  --drop P            network drop probability        (default 0.01)
+  --dup P             network duplicate probability   (default 0.01)
+  --reorder P         network reorder probability     (default 0.02)
+  --delay P           beyond-tmax delay probability   (default 0.002)
+  --bitflip P         payload bit-flip probability    (default 0.005)
+  --write-error P     storage write-error probability (default 0.05)
+  --torn P            storage torn-write probability  (default 0.02)
+  --latent P          latent corruption probability   (default 0.01)
+  --hw-gap SECS       mean gap between node crashes, 0=off (default 150)
+  --drift-gap SECS    mean gap between drift excursions, 0=off (default 200)
+  --blackout-gap SECS mean gap between resync blackouts, 0=off (default 250)
+  --verbose           one summary line per mission
+  A failing mission prints its seed and full schedule JSON; re-running
+  with --replay SEED reproduces it exactly.
 )");
   std::exit(code);
 }
@@ -285,6 +313,85 @@ int cmd_model(int argc, char** argv) {
   return 0;
 }
 
+int cmd_chaos(int argc, char** argv) {
+  CampaignConfig config;
+  bool replay = false;
+  std::uint64_t replay_seed = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--reps") config.reps = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--seed") config.seed = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--duration") config.mission = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    else if (a == "--scheme") config.scheme = parse_scheme(arg_value(argc, argv, i));
+    else if (a == "--replay") {
+      replay = true;
+      replay_seed = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    }
+    else if (a == "--drop") config.rates.net.drop_probability = std::atof(arg_value(argc, argv, i));
+    else if (a == "--dup") config.rates.net.duplicate_probability = std::atof(arg_value(argc, argv, i));
+    else if (a == "--reorder") config.rates.net.reorder_probability = std::atof(arg_value(argc, argv, i));
+    else if (a == "--delay") config.rates.net.delay_probability = std::atof(arg_value(argc, argv, i));
+    else if (a == "--bitflip") config.rates.net.bitflip_probability = std::atof(arg_value(argc, argv, i));
+    else if (a == "--write-error") config.rates.storage.write_error_probability = std::atof(arg_value(argc, argv, i));
+    else if (a == "--torn") config.rates.storage.torn_write_probability = std::atof(arg_value(argc, argv, i));
+    else if (a == "--latent") config.rates.storage.latent_corruption_probability = std::atof(arg_value(argc, argv, i));
+    else if (a == "--hw-gap") config.rates.timed.hw_fault_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    else if (a == "--drift-gap") config.rates.timed.drift_excursion_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    else if (a == "--blackout-gap") config.rates.timed.resync_blackout_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    else if (a == "--trace-csv") config.trace_csv = arg_value(argc, argv, i);
+    else if (a == "--verbose") config.verbose = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(2);
+    }
+  }
+
+  if (replay) {
+    const MissionReport r = run_mission(config, replay_seed);
+    std::printf("mission seed=%llu %s\n",
+                static_cast<unsigned long long>(r.seed),
+                r.ok ? "ok" : "FAIL");
+    std::printf("adversity: net=%llu late=%llu retries=%llu failed_writes=%llu "
+                "torn=%llu latent=%llu corrupt_reads=%llu hw=%llu drift=%llu "
+                "missed_resync=%llu sw_recoveries=%llu\n",
+                static_cast<unsigned long long>(r.injected_net),
+                static_cast<unsigned long long>(r.late_deliveries),
+                static_cast<unsigned long long>(r.write_retries),
+                static_cast<unsigned long long>(r.failed_writes),
+                static_cast<unsigned long long>(r.torn_writes),
+                static_cast<unsigned long long>(r.latent_corruptions),
+                static_cast<unsigned long long>(r.corrupt_reads),
+                static_cast<unsigned long long>(r.hw_faults),
+                static_cast<unsigned long long>(r.drift_excursions),
+                static_cast<unsigned long long>(r.missed_resyncs),
+                static_cast<unsigned long long>(r.sw_recoveries));
+    std::printf("monitor: detected=%llu (bound=%llu overrun=%llu timeout=%llu "
+                "corrupt=%llu undelivered=%llu line=%llu) degraded=%llu "
+                "(widen=%llu resync=%llu write_through=%llu resend=%llu "
+                "reline=%llu)\n",
+                static_cast<unsigned long long>(r.monitor.violations()),
+                static_cast<unsigned long long>(r.monitor.bound_violations),
+                static_cast<unsigned long long>(r.monitor.blocking_overruns),
+                static_cast<unsigned long long>(r.monitor.write_timeouts),
+                static_cast<unsigned long long>(r.monitor.corrupt_records),
+                static_cast<unsigned long long>(r.monitor.undelivered_messages),
+                static_cast<unsigned long long>(r.monitor.line_inconsistencies),
+                static_cast<unsigned long long>(r.monitor.degradations()),
+                static_cast<unsigned long long>(r.monitor.tau_widenings),
+                static_cast<unsigned long long>(r.monitor.forced_resyncs),
+                static_cast<unsigned long long>(r.monitor.forced_write_throughs),
+                static_cast<unsigned long long>(r.monitor.forced_resends),
+                static_cast<unsigned long long>(r.monitor.relines));
+    for (const auto& f : r.failures) std::printf("  %s\n", f.c_str());
+    if (!r.ok) std::printf("schedule: %s\n", r.schedule_json.c_str());
+    return r.ok ? 0 : 1;
+  }
+
+  const CampaignResult result = run_campaign(config, &std::cout);
+  return result.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,6 +400,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "sweep") return cmd_sweep(argc, argv);
   if (cmd == "model") return cmd_model(argc, argv);
+  if (cmd == "chaos") return cmd_chaos(argc, argv);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") usage(0);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   usage(2);
