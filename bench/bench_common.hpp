@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -92,5 +94,57 @@ inline void ascii_log_chart(const std::vector<double>& x,
                 series[si].name.c_str());
   }
 }
+
+// ---- Machine-readable bench results (BENCH_*.json) -------------------------
+//
+// The perf-regression gate (`scripts/check_bench_regression.py`) compares a
+// fresh run against the committed baselines in `bench/baselines/`. Emitters
+// are C++-side so no Python post-processing of bench stdout is ever needed:
+// `synergy chaos --json` writes BENCH_campaign.json and `bench_micro_json
+// --json` writes BENCH_micro.json, both in the `synergy-bench-v1` schema
+// below.
+
+struct BenchJsonEntry {
+  std::string name;               ///< Stable key the gate matches on.
+  std::uint64_t iterations = 0;   ///< Timed repetitions behind the numbers.
+  double ns_per_op = 0;           ///< Lower is better.
+  double missions_per_sec = 0;    ///< Higher is better; 0 = not applicable.
+};
+
+class BenchJsonWriter {
+ public:
+  void add(BenchJsonEntry entry) { entries_.push_back(std::move(entry)); }
+
+  std::string to_json() const {
+    std::string out = "{\n  \"schema\": \"synergy-bench-v1\",\n"
+                      "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const BenchJsonEntry& e = entries_[i];
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"iterations\": %llu, "
+                    "\"ns_per_op\": %.3f, \"missions_per_sec\": %.4f}%s\n",
+                    e.name.c_str(),
+                    static_cast<unsigned long long>(e.iterations), e.ns_per_op,
+                    e.missions_per_sec, i + 1 < entries_.size() ? "," : "");
+      out += buf;
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Write the document to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json();
+    return static_cast<bool>(out);
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<BenchJsonEntry> entries_;
+};
 
 }  // namespace synergy::bench

@@ -1,0 +1,129 @@
+// Self-timed micro benchmarks with machine-readable output.
+//
+// Times the protocol hot paths the regression gate watches (simulator event
+// dispatch, RNG, application state step/snapshot, a full short chaos
+// mission) and emits BENCH_micro.json via the synergy-bench-v1 emitter in
+// bench_common.hpp — no google-benchmark JSON post-processing involved.
+//
+//   bench_micro_json [--quick|--full] [--json BENCH_micro.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "app/state.hpp"
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "sim/simulator.hpp"
+
+namespace synergy::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_ns_per_op(std::uint64_t iterations,
+                      const std::function<void()>& op) {
+  // Best-of-3: the minimum discards scheduler noise, which dwarfs the
+  // kernels themselves at --quick iteration counts.
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iterations; ++i) op();
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    const double per_op = ns / static_cast<double>(iterations);
+    if (rep == 0 || per_op < best) best = per_op;
+  }
+  return best;
+}
+
+int run(int argc, char** argv) {
+  const Effort effort = parse_effort(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  BenchJsonWriter writer;
+  auto record = [&](const char* name, std::uint64_t iterations,
+                    const std::function<void()>& op,
+                    double missions_per_sec = 0) {
+    const double ns = time_ns_per_op(iterations, op);
+    writer.add({name, iterations, ns, missions_per_sec});
+    std::printf("%-28s %12llu iters %14.1f ns/op\n", name,
+                static_cast<unsigned long long>(iterations), ns);
+  };
+
+  {
+    Rng rng(42);
+    std::uint64_t sink = 0;
+    record("rng_next", scaled(effort, 1'000'000, 10'000'000, 50'000'000),
+           [&] { sink += rng.next(); });
+    if (sink == 0) std::printf("(unreachable)\n");
+  }
+  {
+    record("sim_1k_events", scaled(effort, 50, 500, 2'000), [] {
+      Simulator sim;
+      std::uint64_t sink = 0;
+      for (int i = 0; i < 1000; ++i) {
+        sim.schedule_at(TimePoint{i}, [&sink, i] { sink += i; });
+      }
+      sim.run();
+    });
+  }
+  {
+    ApplicationState app(1);
+    std::uint64_t i = 0;
+    record("app_state_step", scaled(effort, 100'000, 1'000'000, 5'000'000),
+           [&] { app.local_step(++i); });
+  }
+  {
+    ApplicationState app(1);
+    record("app_snapshot_restore",
+           scaled(effort, 100'000, 500'000, 2'000'000), [&] {
+             const Bytes snap = app.snapshot();
+             app.restore(snap);
+           });
+  }
+  {
+    // End-to-end MDCD/TB hot path: one short chaos mission per iteration.
+    CampaignConfig config;
+    config.mission = Duration::seconds(60);
+    const std::uint64_t iters = scaled(effort, 3, 10, 30);
+    Rng seeder(1);
+    std::uint64_t seed = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      seed = seeder.next();
+      const MissionReport r = run_mission(config, seed);
+      if (!r.ok) std::printf("mission seed=%llu FAIL (bench continues)\n",
+                             static_cast<unsigned long long>(seed));
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    writer.add({"chaos_mission_60s", iters,
+                secs * 1e9 / static_cast<double>(iters),
+                static_cast<double>(iters) / secs});
+    std::printf("%-28s %12llu iters %14.1f ns/op %10.3f missions/s\n",
+                "chaos_mission_60s", static_cast<unsigned long long>(iters),
+                secs * 1e9 / static_cast<double>(iters),
+                static_cast<double>(iters) / secs);
+  }
+
+  if (!json_path.empty()) {
+    if (!writer.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("bench json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace synergy::bench
+
+int main(int argc, char** argv) { return synergy::bench::run(argc, argv); }

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate a fresh synergy-bench-v1 JSON run against a committed baseline.
+
+Usage:
+    check_bench_regression.py [--tolerance 0.5] [--warn-only] BASELINE CURRENT
+
+Compares every benchmark present in BASELINE against CURRENT:
+
+  * ns_per_op regresses when  current > baseline * (1 + tolerance)
+  * missions_per_sec regresses when  current < baseline / (1 + tolerance)
+  * a benchmark missing from CURRENT is always a failure (the bench was
+    dropped, so the gate would silently stop watching it)
+
+Benchmarks only in CURRENT are reported as new and never fail the gate.
+Exit status: 0 clean, 1 regression (unless --warn-only), 2 usage/IO error.
+
+Baselines live in bench/baselines/ and are refreshed with
+scripts/refresh_bench_baselines.sh; tolerance is deliberately generous
+because CI runners vary — the gate exists to catch order-of-magnitude hot
+path regressions, not 5%% noise.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "synergy-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: expected schema {SCHEMA!r}, "
+                 f"got {doc.get('schema')!r}")
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="committed BENCH_*.json")
+    ap.add_argument("current", help="freshly generated BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed fractional slowdown (default 0.5 = 50%%)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (PR builds)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    slack = 1.0 + args.tolerance
+
+    regressions = []
+    rows = []
+    for name, b in base.items():
+        c = cur.get(name)
+        if c is None:
+            regressions.append(f"{name}: missing from current run")
+            rows.append((name, b["ns_per_op"], None, "MISSING"))
+            continue
+        verdict = "ok"
+        if b["ns_per_op"] > 0 and c["ns_per_op"] > b["ns_per_op"] * slack:
+            verdict = "REGRESSED"
+            regressions.append(
+                f"{name}: ns_per_op {c['ns_per_op']:.1f} vs baseline "
+                f"{b['ns_per_op']:.1f} (>{slack:.2f}x)")
+        b_mps = b.get("missions_per_sec", 0)
+        c_mps = c.get("missions_per_sec", 0)
+        if b_mps > 0 and c_mps < b_mps / slack:
+            verdict = "REGRESSED"
+            regressions.append(
+                f"{name}: missions_per_sec {c_mps:.3f} vs baseline "
+                f"{b_mps:.3f} (<1/{slack:.2f}x)")
+        rows.append((name, b["ns_per_op"], c["ns_per_op"], verdict))
+    for name in cur:
+        if name not in base:
+            rows.append((name, None, cur[name]["ns_per_op"], "new"))
+
+    width = max(len(r[0]) for r in rows) if rows else 4
+    print(f"{'benchmark':<{width}}  {'baseline ns/op':>16}  "
+          f"{'current ns/op':>16}  {'ratio':>7}  verdict")
+    for name, b_ns, c_ns, verdict in rows:
+        bs = f"{b_ns:.1f}" if b_ns is not None else "-"
+        cs = f"{c_ns:.1f}" if c_ns is not None else "-"
+        ratio = (f"{c_ns / b_ns:.2f}x"
+                 if b_ns and c_ns is not None else "-")
+        print(f"{name:<{width}}  {bs:>16}  {cs:>16}  {ratio:>7}  {verdict}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) "
+              f"(tolerance {args.tolerance:.0%}):", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        if args.warn_only:
+            print("warn-only mode: not failing the build", file=sys.stderr)
+            return 0
+        return 1
+    print(f"\nno regressions (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate the committed perf baselines in bench/baselines/.
+#
+#   scripts/refresh_bench_baselines.sh [build-dir]
+#
+# Run this (and commit the result) after an intentional perf change, from
+# the same class of machine the numbers should be judged against. CI
+# compares fresh runs to these files with scripts/check_bench_regression.py.
+set -eu
+
+BUILD="${1:-build}"
+OUT="bench/baselines"
+mkdir -p "$OUT"
+
+"$BUILD"/tools/synergy chaos --reps 10 --seed 1 --jobs 0 \
+  --json "$OUT/BENCH_campaign.json"
+"$BUILD"/bench/bench_micro_json --quick --json "$OUT/BENCH_micro.json"
+
+echo
+echo "baselines refreshed:"
+ls -l "$OUT"

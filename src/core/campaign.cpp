@@ -1,9 +1,15 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <ctime>
 #include <fstream>
+#include <mutex>
+#include <sstream>
 #include <utility>
 
 #include "analysis/checkers.hpp"
+#include "core/pool.hpp"
 #include "trace/export.hpp"
 
 namespace synergy {
@@ -152,45 +158,166 @@ MissionReport run_mission(const CampaignConfig& config,
   return report;
 }
 
+bool operator==(const MissionReport& a, const MissionReport& b) {
+  const MonitorStats& ma = a.monitor;
+  const MonitorStats& mb = b.monitor;
+  return a.seed == b.seed && a.ok == b.ok && a.failures == b.failures &&
+         a.injected_net == b.injected_net &&
+         a.late_deliveries == b.late_deliveries &&
+         a.write_retries == b.write_retries &&
+         a.failed_writes == b.failed_writes &&
+         a.torn_writes == b.torn_writes &&
+         a.latent_corruptions == b.latent_corruptions &&
+         a.corrupt_reads == b.corrupt_reads && a.hw_faults == b.hw_faults &&
+         a.drift_excursions == b.drift_excursions &&
+         a.missed_resyncs == b.missed_resyncs &&
+         a.sw_recoveries == b.sw_recoveries &&
+         a.schedule_json == b.schedule_json &&
+         ma.bound_violations == mb.bound_violations &&
+         ma.blocking_overruns == mb.blocking_overruns &&
+         ma.write_timeouts == mb.write_timeouts &&
+         ma.corrupt_records == mb.corrupt_records &&
+         ma.undelivered_messages == mb.undelivered_messages &&
+         ma.line_inconsistencies == mb.line_inconsistencies &&
+         ma.tau_widenings == mb.tau_widenings &&
+         ma.forced_resyncs == mb.forced_resyncs &&
+         ma.forced_write_throughs == mb.forced_write_throughs &&
+         ma.forced_resends == mb.forced_resends && ma.relines == mb.relines;
+}
+
+std::string format_mission_report(const CampaignConfig& config,
+                                  std::size_t index,
+                                  const MissionReport& report) {
+  std::ostringstream out;
+  if (config.verbose || !report.ok) {
+    out << "mission " << index << " seed=" << report.seed
+        << (report.ok ? " ok" : " FAIL") << " net=" << report.injected_net
+        << " late=" << report.late_deliveries
+        << " retries=" << report.write_retries
+        << " torn=" << report.torn_writes
+        << " latent=" << report.latent_corruptions
+        << " hw=" << report.hw_faults
+        << " drift=" << report.drift_excursions
+        << " missed_resync=" << report.missed_resyncs
+        << " detect=" << report.monitor.violations()
+        << " degrade=" << report.monitor.degradations() << "\n";
+  }
+  if (!report.ok) {
+    for (const auto& f : report.failures) out << "  " << f << "\n";
+    // The replay command must reproduce the mission *configuration* too,
+    // not just the seed: spell out the non-default knobs.
+    out << "  replay: synergy chaos --replay " << report.seed;
+    if (config.scheme != Scheme::kCoordinated) {
+      out << " --scheme " << to_string(config.scheme);
+    }
+    if (config.mission != Duration::seconds(600)) {
+      out << " --duration " << config.mission.to_seconds();
+    }
+    out << " (plus any non-default injector flags)\n";
+    out << "  schedule: " << report.schedule_json << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// CPU time consumed by the calling thread. Immune to timesharing: on an
+/// oversubscribed machine a mission's wall time inflates while its CPU
+/// time does not, so Σ mission CPU / campaign wall reports real
+/// parallelism (~1 on one core) instead of flattering it.
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+/// Releases buffered per-mission text to the stream strictly in mission
+/// order, as soon as the prefix is complete — so a parallel campaign
+/// streams progress like the sequential one, byte for byte.
+class OrderedEmitter {
+ public:
+  OrderedEmitter(std::ostream* out, std::size_t count)
+      : out_(out), buffered_(count), ready_(count, false) {}
+
+  void publish(std::size_t index, std::string text) {
+    if (!out_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    buffered_[index] = std::move(text);
+    ready_[index] = true;
+    while (next_ < ready_.size() && ready_[next_]) {
+      *out_ << buffered_[next_];
+      buffered_[next_].clear();
+      ++next_;
+    }
+    out_->flush();
+  }
+
+ private:
+  std::ostream* out_;
+  std::mutex mu_;
+  std::vector<std::string> buffered_;
+  std::vector<bool> ready_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
 CampaignResult run_campaign(const CampaignConfig& config, std::ostream* out) {
+  using Clock = std::chrono::steady_clock;
   CampaignResult result;
+
+  // All mission seeds derive from the campaign seed before any mission
+  // runs: the executor cannot perturb the adversary, whatever the order.
+  std::vector<std::uint64_t> seeds(config.reps);
   Rng seeder(config.seed);
-  for (std::size_t i = 0; i < config.reps; ++i) {
-    const std::uint64_t mission_seed = seeder.next();
-    MissionReport report = run_mission(config, mission_seed);
+  for (auto& s : seeds) s = seeder.next();
+
+  std::size_t jobs = config.jobs == 0 ? ThreadPool::default_jobs()
+                                      : config.jobs;
+  // Every mission would write the same trace file; replay diagnostics are
+  // single-mission anyway.
+  if (!config.trace_csv.empty()) jobs = 1;
+  jobs = std::min(jobs, std::max<std::size_t>(1, config.reps));
+
+  result.missions.resize(config.reps);
+  std::vector<double> mission_secs(config.reps, 0.0);
+  OrderedEmitter emitter(out, config.reps);
+
+  auto run_one = [&](std::size_t i) {
+    const double cpu0 = thread_cpu_seconds();
+    MissionReport report = run_mission(config, seeds[i]);
+    mission_secs[i] = thread_cpu_seconds() - cpu0;
+    emitter.publish(i, format_mission_report(config, i, report));
+    result.missions[i] = std::move(report);
+  };
+
+  const auto wall0 = Clock::now();
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < config.reps; ++i) run_one(i);
+  } else {
+    ThreadPool pool(jobs);
+    pool.run_indexed(config.reps, run_one);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall0).count();
+  result.jobs = jobs;
+
+  for (const MissionReport& report : result.missions) {
     result.oracle_violations += report.failures.size();
     result.detections += report.monitor.violations();
     result.degradations += report.monitor.degradations();
     if (!report.ok) ++result.failed;
-
-    if (out && (config.verbose || !report.ok)) {
-      *out << "mission " << i << " seed=" << report.seed
-           << (report.ok ? " ok" : " FAIL") << " net=" << report.injected_net
-           << " late=" << report.late_deliveries
-           << " retries=" << report.write_retries
-           << " torn=" << report.torn_writes
-           << " latent=" << report.latent_corruptions
-           << " hw=" << report.hw_faults
-           << " drift=" << report.drift_excursions
-           << " missed_resync=" << report.missed_resyncs
-           << " detect=" << report.monitor.violations()
-           << " degrade=" << report.monitor.degradations() << "\n";
-    }
-    if (out && !report.ok) {
-      for (const auto& f : report.failures) *out << "  " << f << "\n";
-      // The replay command must reproduce the mission *configuration* too,
-      // not just the seed: spell out the non-default knobs.
-      *out << "  replay: synergy chaos --replay " << report.seed;
-      if (config.scheme != Scheme::kCoordinated) {
-        *out << " --scheme " << to_string(config.scheme);
-      }
-      if (config.mission != Duration::seconds(600)) {
-        *out << " --duration " << config.mission.to_seconds();
-      }
-      *out << " (plus any non-default injector flags)\n";
-      *out << "  schedule: " << report.schedule_json << "\n";
-    }
-    result.missions.push_back(std::move(report));
+  }
+  for (double s : mission_secs) result.mission_seconds_total += s;
+  if (result.wall_seconds > 0) {
+    result.missions_per_sec =
+        static_cast<double>(config.reps) / result.wall_seconds;
+    result.speedup = result.mission_seconds_total / result.wall_seconds;
   }
 
   if (out) {
@@ -199,6 +326,15 @@ CampaignResult run_campaign(const CampaignConfig& config, std::ostream* out) {
          << " oracle violations, " << result.detections
          << " assumption violations detected, " << result.degradations
          << " degradations applied\n";
+    // Host-clock, not simulation state: the one line that may differ
+    // between jobs values.
+    std::ostringstream timing;
+    timing.setf(std::ios::fixed);
+    timing.precision(2);
+    timing << "timing: jobs=" << jobs << " wall=" << result.wall_seconds
+           << "s throughput=" << result.missions_per_sec
+           << " missions/s speedup=" << result.speedup << "x\n";
+    *out << timing.str();
   }
   return result;
 }

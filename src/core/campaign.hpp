@@ -44,7 +44,13 @@ struct CampaignConfig {
   bool verbose = false;  ///< Per-mission summary lines.
   /// When non-empty, enable tracing and dump the mission's trace to this
   /// CSV path (replay diagnostics: `chaos --replay SEED --trace-csv f.csv`).
+  /// Forces jobs = 1: every mission writes the same file.
   std::string trace_csv;
+  /// Worker threads for the campaign fan-out; 0 = hardware concurrency.
+  /// Mission seeds derive from the campaign seed up-front and each mission
+  /// runs on a private System, so reports and per-mission output are
+  /// bit-identical for every jobs value.
+  std::size_t jobs = 1;
 
   CampaignConfig();  ///< Sets rates + a busy default workload.
 };
@@ -73,21 +79,53 @@ struct MissionReport {
   std::string schedule_json;
 };
 
+/// Field-wise equality, including monitor stats and failure text — the
+/// determinism contract: `--jobs N` must reproduce `--jobs 1` exactly.
+bool operator==(const MissionReport& a, const MissionReport& b);
+inline bool operator!=(const MissionReport& a, const MissionReport& b) {
+  return !(a == b);
+}
+
 struct CampaignResult {
-  std::vector<MissionReport> missions;
+  std::vector<MissionReport> missions;  ///< Stable order: mission index.
   std::size_t failed = 0;
   std::uint64_t oracle_violations = 0;   ///< Across all audits (must be 0).
   std::uint64_t detections = 0;          ///< Monitor detections (expected >0).
   std::uint64_t degradations = 0;
+
+  // Host-clock performance of the campaign itself. Everything above is
+  // bit-identical across jobs values; these fields are not (they measure
+  // the executor, not the missions).
+  std::size_t jobs = 1;                ///< Workers actually used.
+  double wall_seconds = 0;             ///< Campaign wall-clock.
+  /// Sum of per-mission thread-CPU times (not wall: CPU time is immune to
+  /// timesharing inflation when the pool oversubscribes the cores).
+  double mission_seconds_total = 0;
+  double missions_per_sec = 0;         ///< reps / wall_seconds.
+  /// Effective parallelism: mission_seconds_total / wall_seconds (≈1 when
+  /// jobs = 1 or on one core; approaches jobs on enough real cores).
+  double speedup = 1;
 };
+
+/// The per-mission text block run_campaign emits for mission `index`
+/// (summary line when verbose or failed, plus failure details) — exposed
+/// so tests can assert output equality across jobs values. Returns ""
+/// when this mission prints nothing.
+std::string format_mission_report(const CampaignConfig& config,
+                                  std::size_t index,
+                                  const MissionReport& report);
 
 /// Run one mission with the given seed. Exposed for deterministic replay
 /// (`synergy chaos --replay <seed>`).
 MissionReport run_mission(const CampaignConfig& config,
                           std::uint64_t mission_seed);
 
-/// Run the whole campaign; prints a summary (and failing seeds + schedule
-/// JSON) to `out` when non-null.
+/// Run the whole campaign, fanning missions out over config.jobs workers.
+/// Mission seeds are all derived from config.seed before any mission runs,
+/// reports land in mission-index order, and per-mission output is buffered
+/// and emitted in order, so everything written to `out` except the trailing
+/// `timing:` line is byte-identical for every jobs value. Prints a summary
+/// (and failing seeds + schedule JSON) to `out` when non-null.
 CampaignResult run_campaign(const CampaignConfig& config, std::ostream* out);
 
 }  // namespace synergy

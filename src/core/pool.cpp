@@ -1,0 +1,124 @@
+#include "core/pool.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace synergy {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    target = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  // Own queue: back (most recently pushed here, cache-warm).
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal: front of the other queues (oldest task — likely the largest
+  // remaining chunk under skewed lengths).
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    Queue& q = *queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(wake_mu_);
+      wake_cv_.wait(lk, [this] { return stop_ || pending_ > 0; });
+      if (pending_ == 0) return;  // stop_ set and nothing left to drain
+      --pending_;                 // claim exactly one queued task
+    }
+    Task task;
+    while (!try_pop(self, task)) {
+      // A submitter pushes before incrementing pending_ and claimants pop
+      // after decrementing, so queued >= outstanding claims: some queue
+      // holds a task for us, another claimant just hasn't popped its own
+      // yet. Yield and rescan.
+      std::this_thread::yield();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    std::exception_ptr first_error;
+  };
+  auto join = std::make_shared<Join>();
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([join, &fn, i, n] {
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(join->mu);
+      if (error && !join->first_error) join->first_error = error;
+      if (++join->done == n) join->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lk(join->mu);
+  join->cv.wait(lk, [&] { return join->done == n; });
+  if (join->first_error) std::rethrow_exception(join->first_error);
+}
+
+std::size_t ThreadPool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace synergy

@@ -1,0 +1,92 @@
+// Work-stealing thread pool for independent seeded jobs.
+//
+// Built for the chaos campaign's fan-out: N missions whose seeds are all
+// derived up-front, so any execution order yields bit-identical reports.
+// Each worker owns a deque; it pushes/pops at the back (LIFO, cache-warm)
+// and thieves steal from the front (FIFO, oldest first), which keeps
+// skewed mission lengths balanced without a global queue bottleneck.
+// Deques are mutex-guarded rather than lock-free: missions run for
+// milliseconds, so pool overhead is noise, and the simple locking is
+// trivially ThreadSanitizer-clean.
+//
+// Exceptions thrown by tasks are captured and rethrown from run_indexed()
+// (first one wins); the pool itself never terminates on a task error.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace synergy {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a fire-and-forget task.
+  void submit(Task task);
+
+  /// Enqueue a task and get a future for its result; task exceptions
+  /// surface through the future.
+  template <class F>
+  auto async(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    submit([task] { (*task)(); });
+    return result;
+  }
+
+  /// Run fn(0), fn(1), ..., fn(n-1) across the workers and block until all
+  /// have finished. Rethrows the first task exception (the remaining tasks
+  /// still run to completion first). The calling thread only waits; it does
+  /// not execute tasks, so fn may block on pool-external state.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Hardware concurrency, clamped to at least 1 (the value used for
+  /// `--jobs 0`).
+  static std::size_t default_jobs();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, Task& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake protocol: `pending_` counts queued-but-unclaimed tasks.
+  // Every submit pushes first, then increments; every worker decrements
+  // (claiming one task) before popping, so queued >= claims always holds
+  // and a claimant's scan loop terminates.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+
+  std::size_t next_queue_ = 0;  // round-robin submit target, under wake_mu_
+};
+
+}  // namespace synergy

@@ -1,0 +1,106 @@
+// Parallel campaign executor: --jobs N must be indistinguishable from
+// --jobs 1 in every mission report and every byte of per-mission output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace synergy {
+namespace {
+
+CampaignConfig short_campaign(std::size_t jobs) {
+  CampaignConfig config;
+  config.seed = 1;
+  config.reps = 20;
+  config.mission = Duration::seconds(45);
+  config.verbose = true;
+  config.jobs = jobs;
+  return config;
+}
+
+/// Campaign output minus the trailing `timing:` line (host-clock, the one
+/// line allowed to differ across jobs values).
+std::string strip_timing(const std::string& text) {
+  std::istringstream in(text);
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.rfind("timing:", 0) == 0) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(CampaignParallel, JobsFourMatchesJobsOneBitForBit) {
+  std::ostringstream seq_out, par_out;
+  const CampaignResult seq = run_campaign(short_campaign(1), &seq_out);
+  const CampaignResult par = run_campaign(short_campaign(4), &par_out);
+
+  ASSERT_EQ(seq.missions.size(), par.missions.size());
+  for (std::size_t i = 0; i < seq.missions.size(); ++i) {
+    EXPECT_TRUE(seq.missions[i] == par.missions[i]) << "mission " << i;
+  }
+  EXPECT_EQ(seq.failed, par.failed);
+  EXPECT_EQ(seq.oracle_violations, par.oracle_violations);
+  EXPECT_EQ(seq.detections, par.detections);
+  EXPECT_EQ(seq.degradations, par.degradations);
+
+  // Buffered + ordered emission: identical bytes, not just identical sums.
+  EXPECT_EQ(strip_timing(seq_out.str()), strip_timing(par_out.str()));
+}
+
+TEST(CampaignParallel, RepeatedParallelRunsAreIdentical) {
+  std::ostringstream a_out, b_out;
+  const CampaignResult a = run_campaign(short_campaign(4), &a_out);
+  const CampaignResult b = run_campaign(short_campaign(4), &b_out);
+  ASSERT_EQ(a.missions.size(), b.missions.size());
+  for (std::size_t i = 0; i < a.missions.size(); ++i) {
+    EXPECT_TRUE(a.missions[i] == b.missions[i]) << "mission " << i;
+  }
+  EXPECT_EQ(strip_timing(a_out.str()), strip_timing(b_out.str()));
+}
+
+TEST(CampaignParallel, PerMissionOutputMatchesFormatter) {
+  const CampaignConfig config = short_campaign(2);
+  std::ostringstream out;
+  const CampaignResult result = run_campaign(config, &out);
+  std::string expected;
+  for (std::size_t i = 0; i < result.missions.size(); ++i) {
+    expected += format_mission_report(config, i, result.missions[i]);
+  }
+  const std::string text = strip_timing(out.str());
+  // Everything before the summary line is exactly the concatenated
+  // per-mission blocks, in mission order.
+  const auto summary = text.find("campaign: ");
+  ASSERT_NE(summary, std::string::npos);
+  EXPECT_EQ(text.substr(0, summary), expected);
+}
+
+TEST(CampaignParallel, ThroughputFieldsPopulated) {
+  const CampaignResult result = run_campaign(short_campaign(2), nullptr);
+  EXPECT_EQ(result.jobs, 2u);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.mission_seconds_total, 0.0);
+  EXPECT_GT(result.missions_per_sec, 0.0);
+  EXPECT_GT(result.speedup, 0.0);
+}
+
+TEST(CampaignParallel, JobsZeroUsesHardwareConcurrency) {
+  CampaignConfig config = short_campaign(0);
+  config.reps = 4;
+  const CampaignResult result = run_campaign(config, nullptr);
+  EXPECT_GE(result.jobs, 1u);
+  EXPECT_EQ(result.missions.size(), 4u);
+}
+
+TEST(CampaignParallel, JobsClampedToReps) {
+  CampaignConfig config = short_campaign(16);
+  config.reps = 3;
+  const CampaignResult result = run_campaign(config, nullptr);
+  EXPECT_EQ(result.jobs, 3u);
+}
+
+}  // namespace
+}  // namespace synergy

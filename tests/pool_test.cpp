@@ -1,0 +1,113 @@
+// ThreadPool: ordering, exception propagation, stealing under skew.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/pool.hpp"
+
+namespace synergy {
+namespace {
+
+TEST(ThreadPool, AsyncReturnsValues) {
+  ThreadPool pool(2);
+  auto a = pool.async([] { return 7; });
+  auto b = pool.async([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, AsyncPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunIndexedRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run_indexed(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, RunIndexedResultsLandAtTheirIndex) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 200;
+  std::vector<std::size_t> out(kN, 0);
+  // Each task writes only its own slot: the stable-order contract the
+  // campaign relies on for bit-identical reports.
+  pool.run_indexed(kN, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * i) << i;
+}
+
+TEST(ThreadPool, RunIndexedRethrowsTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run_indexed(50,
+                       [&](std::size_t i) {
+                         if (i == 17) throw std::runtime_error("task 17");
+                         ++completed;
+                       }),
+      std::runtime_error);
+  // The other tasks still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ThreadPool, StealsWorkUnderSkewedTaskLengths) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  std::mutex mu;
+  std::set<std::thread::id> participants;
+  // Task 0 hogs its worker; the short tail must be stolen by the others.
+  pool.run_indexed(kN, [&](std::size_t i) {
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    participants.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(participants.size(), 2u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }  // ~ThreadPool must not drop queued work
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.run_indexed(10, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive) {
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, ManySmallTasksStress) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr std::size_t kN = 5000;
+  pool.run_indexed(kN, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace synergy

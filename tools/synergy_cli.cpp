@@ -13,6 +13,7 @@
 //   synergy sweep --rates 60,100,140,200 --reps 40 > fig7.csv
 //   synergy chaos --reps 50 --seed 1
 //   synergy chaos --replay 13665873534402006364
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,8 +24,10 @@
 
 #include "analysis/checkers.hpp"
 #include "analysis/model.hpp"
+#include "bench/bench_common.hpp"
 #include "core/campaign.hpp"
 #include "core/experiment.hpp"
+#include "core/pool.hpp"
 #include "core/system.hpp"
 #include "trace/export.hpp"
 #include "trace/timeline.hpp"
@@ -78,6 +81,11 @@ CHAOS OPTIONS
   --seed N            campaign seed; mission seeds derive from it (default 1)
   --duration SECS     mission length (default 600)
   --scheme S          as for run (default coordinated)
+  --jobs N            worker threads for the mission fan-out; 0 = all
+                      hardware threads (default 1). Reports and per-mission
+                      output are bit-identical for every value.
+  --json FILE         write campaign throughput as synergy-bench-v1 JSON
+                      (the BENCH_campaign.json regression baseline)
   --replay SEED       re-run exactly one mission with this mission seed
                       (printed by a failing campaign) and dump its report
   --drop P            network drop probability        (default 0.01)
@@ -317,11 +325,14 @@ int cmd_chaos(int argc, char** argv) {
   CampaignConfig config;
   bool replay = false;
   std::uint64_t replay_seed = 0;
+  std::string json_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--reps") config.reps = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
     else if (a == "--seed") config.seed = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--jobs") config.jobs = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--json") json_path = arg_value(argc, argv, i);
     else if (a == "--duration") config.mission = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
     else if (a == "--scheme") config.scheme = parse_scheme(arg_value(argc, argv, i));
     else if (a == "--replay") {
@@ -389,6 +400,22 @@ int cmd_chaos(int argc, char** argv) {
   }
 
   const CampaignResult result = run_campaign(config, &std::cout);
+
+  if (!json_path.empty()) {
+    bench::BenchJsonWriter writer;
+    char name[128];
+    std::snprintf(name, sizeof(name), "chaos_campaign/scheme=%s/reps=%zu",
+                  to_string(config.scheme), config.reps);
+    writer.add({name, static_cast<std::uint64_t>(config.reps),
+                result.wall_seconds * 1e9 /
+                    static_cast<double>(std::max<std::size_t>(1, config.reps)),
+                result.missions_per_sec});
+    if (!writer.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("bench json written to %s\n", json_path.c_str());
+  }
   return result.failed == 0 ? 0 : 1;
 }
 
