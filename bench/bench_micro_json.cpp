@@ -75,6 +75,32 @@ int run(int argc, char** argv) {
     });
   }
   {
+    // The TB engine's re-arm/cancel churn in miniature: one schedule+cancel
+    // pair per op against a warm queue. Also the tombstone-leak regression
+    // canary — the old engine's queue grew by one entry per iteration here.
+    Simulator sim;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 256; ++i) {
+      sim.schedule_at(TimePoint{1'000'000'000 + i}, [&sink] { ++sink; });
+    }
+    record("sim_schedule_cancel",
+           scaled(effort, 500'000, 2'000'000, 10'000'000), [&] {
+             EventHandle h =
+                 sim.schedule_at(TimePoint{2'000'000'000}, [&sink] { ++sink; });
+             sim.cancel(h);
+           });
+  }
+  {
+    // Steady-state dispatch: schedule one event and fire it.
+    Simulator sim;
+    std::uint64_t sink = 0;
+    record("sim_event_dispatch",
+           scaled(effort, 500'000, 2'000'000, 10'000'000), [&] {
+             sim.schedule_after(Duration{1}, [&sink] { ++sink; });
+             sim.step();
+           });
+  }
+  {
     ApplicationState app(1);
     std::uint64_t i = 0;
     record("app_state_step", scaled(effort, 100'000, 1'000'000, 5'000'000),

@@ -12,7 +12,11 @@ Compares every benchmark present in BASELINE against CURRENT:
     dropped, so the gate would silently stop watching it)
 
 Benchmarks only in CURRENT are reported as new and never fail the gate.
+A BASELINE with an empty benchmarks list is an error (exit 2): it would
+make the gate vacuously green, which always means a broken refresh. An
+empty CURRENT is caught by the missing-benchmark rule above.
 Exit status: 0 clean, 1 regression (unless --warn-only), 2 usage/IO error.
+scripts/test_check_bench_regression.py self-tests these paths in CI.
 
 Baselines live in bench/baselines/ and are refreshed with
 scripts/refresh_bench_baselines.sh; tolerance is deliberately generous
@@ -27,15 +31,19 @@ import sys
 SCHEMA = "synergy-bench-v1"
 
 
+def die(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
+        die(f"cannot read {path}: {e}")
     if doc.get("schema") != SCHEMA:
-        sys.exit(f"error: {path}: expected schema {SCHEMA!r}, "
-                 f"got {doc.get('schema')!r}")
+        die(f"{path}: expected schema {SCHEMA!r}, got {doc.get('schema')!r}")
     return {b["name"]: b for b in doc.get("benchmarks", [])}
 
 
@@ -52,6 +60,12 @@ def main():
 
     base = load(args.baseline)
     cur = load(args.current)
+    if not base:
+        # A baseline with no benchmarks would make the gate vacuously green
+        # (nothing to compare, the per-benchmark missing rule never fires).
+        # That is a broken refresh, not a clean run — fail loudly.
+        die(f"{args.baseline}: baseline contains no benchmarks; "
+            "regenerate it with scripts/refresh_bench_baselines.sh")
     slack = 1.0 + args.tolerance
 
     regressions = []

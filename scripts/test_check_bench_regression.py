@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_regression.py — exercises the gate's exit-code
+contract end to end (as a subprocess, the way CI invokes it):
+
+  * clean run                  -> 0
+  * ns_per_op regression       -> 1, 0 with --warn-only
+  * benchmark missing, incl. a CURRENT with an empty benchmarks list -> 1
+  * empty BASELINE             -> 2 (vacuously-green gate is a broken refresh)
+  * wrong schema / unreadable  -> 2
+
+Run from anywhere: python3 scripts/test_check_bench_regression.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+
+
+def doc(benchmarks, schema="synergy-bench-v1"):
+    return {"schema": schema, "benchmarks": benchmarks}
+
+
+def bench(name, ns, mps=0.0):
+    return {"name": name, "iterations": 100, "ns_per_op": ns,
+            "missions_per_sec": mps}
+
+
+def run(tmp, base_doc, cur_doc, *flags):
+    base = os.path.join(tmp, "base.json")
+    cur = os.path.join(tmp, "cur.json")
+    with open(base, "w") as f:
+        json.dump(base_doc, f)
+    with open(cur, "w") as f:
+        json.dump(cur_doc, f)
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, *flags, base, cur],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc
+
+
+def main():
+    failures = []
+
+    def check(label, got, want):
+        status = "ok" if got.returncode == want else "FAIL"
+        print(f"{status:4} {label}: exit {got.returncode} (want {want})")
+        if got.returncode != want:
+            failures.append(f"{label}: exit {got.returncode}, want {want}\n"
+                            f"stdout:\n{got.stdout}\nstderr:\n{got.stderr}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        b = doc([bench("a", 100.0), bench("b", 50.0, mps=10.0)])
+
+        check("clean run",
+              run(tmp, b, doc([bench("a", 110.0), bench("b", 55.0, mps=9.5)])),
+              0)
+        check("new-only benchmark in current never fails",
+              run(tmp, b, doc([bench("a", 100.0), bench("b", 50.0, mps=10.0),
+                               bench("c", 1.0)])),
+              0)
+        check("ns_per_op regression",
+              run(tmp, b, doc([bench("a", 1000.0), bench("b", 50.0, mps=10.0)])),
+              1)
+        check("missions_per_sec regression",
+              run(tmp, b, doc([bench("a", 100.0), bench("b", 50.0, mps=1.0)])),
+              1)
+        check("regression with --warn-only",
+              run(tmp, b, doc([bench("a", 1000.0), bench("b", 50.0, mps=10.0)]),
+                  "--warn-only"),
+              0)
+        check("benchmark missing from current",
+              run(tmp, b, doc([bench("a", 100.0)])),
+              1)
+        check("empty current (all benchmarks missing)",
+              run(tmp, b, doc([])),
+              1)
+        check("empty baseline is an explicit error",
+              run(tmp, doc([]), doc([bench("a", 100.0)])),
+              2)
+        check("empty baseline not excused by --warn-only",
+              run(tmp, doc([]), doc([bench("a", 100.0)]), "--warn-only"),
+              2)
+        check("wrong schema",
+              run(tmp, doc([bench("a", 100.0)], schema="bogus-v0"),
+                  doc([bench("a", 100.0)])),
+              2)
+
+        missing = subprocess.run(
+            [sys.executable, SCRIPT, os.path.join(tmp, "nope.json"),
+             os.path.join(tmp, "nope.json")],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        status = "ok" if missing.returncode == 2 else "FAIL"
+        print(f"{status:4} unreadable baseline: exit {missing.returncode} "
+              f"(want 2)")
+        if missing.returncode != 2:
+            failures.append(f"unreadable baseline: exit {missing.returncode}")
+
+    if failures:
+        print(f"\n{len(failures)} self-test failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall bench-gate self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
 #include "clock/drift_clock.hpp"
@@ -18,7 +17,7 @@ namespace synergy {
 
 class LocalTimerService {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Simulator::Callback;
   using TimerId = std::uint64_t;
 
   LocalTimerService(Simulator& sim, DriftClock& clock)

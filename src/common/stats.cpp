@@ -28,8 +28,16 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
-double RunningStats::min() const { return min_; }
-double RunningStats::max() const { return max_; }
+
+double RunningStats::min() const {
+  SYNERGY_EXPECTS(n_ > 0);  // min of an empty sample is meaningless
+  return min_;
+}
+
+double RunningStats::max() const {
+  SYNERGY_EXPECTS(n_ > 0);  // max of an empty sample is meaningless
+  return max_;
+}
 
 double RunningStats::ci95_halfwidth() const {
   if (n_ < 2) return 0.0;
@@ -42,6 +50,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (!std::isfinite(x)) {
+    // floor(NaN/inf) followed by an integer cast is UB; count and drop so
+    // a poisoned sample stream is visible instead of corrupting a bin.
+    ++rejected_;
+    return;
+  }
   const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
   auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / w));
   idx = std::clamp<std::ptrdiff_t>(
@@ -64,14 +78,19 @@ double Histogram::quantile(double q) const {
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);
-    if (next >= target) {
-      const double frac =
-          counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
       return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
     }
     cum = next;
   }
-  return hi_;
+  // q == 1.0 (or rounding pushed target past the last count): clamp to the
+  // upper edge of the last non-empty bin, not hi_ — with a bottom-heavy
+  // histogram the top bins are empty and hi_ overstates the extreme.
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] > 0) return bin_hi(i);
+  }
+  return lo_;  // unreachable: total_ > 0 implies a non-empty bin
 }
 
 std::string Histogram::render(std::size_t width) const {

@@ -17,8 +17,8 @@ class RunningStats {
   double mean() const;
   double variance() const;  ///< Sample variance (n-1 denominator).
   double stddev() const;
-  double min() const;
-  double max() const;
+  double min() const;  ///< Precondition: count() > 0.
+  double max() const;  ///< Precondition: count() > 0.
   /// Half-width of the ~95% confidence interval on the mean
   /// (normal approximation; returns 0 for n < 2).
   double ci95_halfwidth() const;
@@ -32,13 +32,17 @@ class RunningStats {
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins so totals always match the number of samples added.
+/// edge bins so totals always match the number of finite samples added.
+/// Non-finite samples (NaN/inf) are rejected and counted separately —
+/// binning them would be undefined behavior, not data.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
   std::size_t total() const { return total_; }
+  /// Number of non-finite samples dropped by add().
+  std::size_t rejected() const { return rejected_; }
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   double bin_lo(std::size_t i) const;
@@ -53,6 +57,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t rejected_ = 0;
 };
 
 }  // namespace synergy

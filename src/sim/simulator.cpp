@@ -1,18 +1,40 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace synergy {
 
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  SYNERGY_ASSERT(slots_.size() < kNoSlot);
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  if (++s.gen == 0) s.gen = 1;  // generation 0 means "invalid handle"
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventHandle Simulator::schedule_at(TimePoint t, Callback fn) {
   SYNERGY_EXPECTS(t >= now_);
   SYNERGY_EXPECTS(fn != nullptr);
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return EventHandle{id};
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  push_entry(Entry{t, next_seq_++, slot, s.gen});
+  ++live_;
+  return EventHandle{slot, s.gen};
 }
 
 EventHandle Simulator::schedule_after(Duration d, Callback fn) {
@@ -21,18 +43,22 @@ EventHandle Simulator::schedule_after(Duration d, Callback fn) {
 }
 
 bool Simulator::cancel(EventHandle h) {
-  if (h.id_ == 0) return false;
-  return callbacks_.erase(h.id_) > 0;  // heap entry becomes a tombstone
+  if (h.gen_ == 0 || h.slot_ >= slots_.size()) return false;
+  if (slots_[h.slot_].gen != h.gen_) return false;  // fired/cancelled/reused
+  release_slot(h.slot_);  // heap entry stays behind as a tombstone
+  --live_;
+  maybe_compact();
+  return true;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry e = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
+  while (!heap_.empty()) {
+    const Entry e = heap_.front();
+    pop_root();
+    if (!entry_live(e)) continue;  // tombstone from a cancel
+    Callback fn = std::move(slots_[e.slot].fn);
+    release_slot(e.slot);
+    --live_;
     SYNERGY_ASSERT(e.time >= now_);
     now_ = e.time;
     ++executed_;
@@ -43,13 +69,13 @@ bool Simulator::step() {
 }
 
 void Simulator::run_until(TimePoint deadline) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip tombstones without advancing time.
-    if (callbacks_.find(queue_.top().id) == callbacks_.end()) {
-      queue_.pop();
+    if (!entry_live(heap_.front())) {
+      pop_root();
       continue;
     }
-    if (queue_.top().time > deadline) break;
+    if (heap_.front().time > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;
@@ -57,6 +83,71 @@ void Simulator::run_until(TimePoint deadline) {
 
 void Simulator::run() {
   while (step()) {
+  }
+}
+
+void Simulator::push_entry(const Entry& e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::pop_root() {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
+}
+
+void Simulator::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::maybe_compact() {
+  // Invariant: tombstones never outnumber live events (above a small
+  // floor), so queue_depth() <= max(2 * pending(), kCompactFloor).
+  if (heap_.size() >= kCompactFloor && heap_.size() - live_ > live_) {
+    compact();
+  }
+}
+
+void Simulator::compact() {
+  std::size_t kept = 0;
+  for (const Entry& e : heap_) {
+    if (entry_live(e)) heap_[kept++] = e;
+  }
+  heap_.resize(kept);
+  SYNERGY_ASSERT(kept == live_);
+  // Floyd heapify; (time, seq) keys are unique, so pop order — the only
+  // externally visible ordering — is unchanged by rebuilding the heap.
+  if (kept > 1) {
+    for (std::size_t i = (kept - 2) / kArity + 1; i-- > 0;) sift_down(i);
   }
 }
 

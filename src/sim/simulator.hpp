@@ -5,32 +5,49 @@
 // write completions, fault injections — is an event scheduled here.
 // Execution is single-threaded and fully deterministic: events at equal
 // times fire in scheduling order.
+//
+// Internals are allocation-lean, sized for chaos campaigns that schedule
+// and cancel millions of events (TB checkpoint timers, watchdogs, resend
+// timers all re-arm constantly):
+//
+//   * Callbacks live in a generation-tagged slot map. Cancel is an O(1)
+//     generation bump; a fired or cancelled slot is recycled through a free
+//     list, so steady-state scheduling performs no per-event allocation.
+//   * The time-ordered queue is a 4-ary min-heap of plain (time, seq, slot,
+//     gen) entries with lazy deletion: cancel leaves the heap entry behind
+//     as a tombstone, and the heap compacts whenever tombstones outnumber
+//     live events — queue_depth() stays <= 2x pending() (+ a small floor),
+//     where the previous engine grew without bound under cancel churn.
+//   * Callbacks are SmallFn (small-buffer optimized), so typical capture
+//     lists never touch the heap at all.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/small_fn.hpp"
 
 namespace synergy {
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. Generation-tagged: a
+/// handle whose event already fired (or was cancelled) stays safely inert
+/// even after its slot is recycled for a new event.
 class EventHandle {
  public:
   EventHandle() = default;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;  // 0 = invalid
+  EventHandle(std::uint32_t slot, std::uint32_t gen)
+      : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;  // 0 = invalid (slot generations are never 0)
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   /// Current simulated (true) time.
   TimePoint now() const { return now_; }
@@ -41,8 +58,8 @@ class Simulator {
   /// Schedule `fn` after `d` elapses (d >= 0).
   EventHandle schedule_after(Duration d, Callback fn);
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid handle
-  /// is a no-op and returns false.
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled,
+  /// or invalid handle is a no-op and returns false.
   bool cancel(EventHandle h);
 
   /// Fire the next pending event, if any. Returns false when idle.
@@ -59,27 +76,57 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
 
   /// Pending (non-cancelled) event count.
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const { return live_; }
+
+  /// Heap-array occupancy: live events plus cancelled entries awaiting
+  /// lazy deletion. The compaction invariant keeps this bounded by
+  /// max(2 * pending(), compaction floor) — tests assert on it to prove
+  /// cancel churn cannot leak memory.
+  std::size_t queue_depth() const { return heap_.size(); }
 
  private:
+  static constexpr std::size_t kArity = 4;  // d-ary heap fan-out
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  // Below this heap size tombstones are too cheap to chase; avoids
+  // compacting tiny heaps every other cancel.
+  static constexpr std::size_t kCompactFloor = 64;
+
   struct Entry {
     TimePoint time;
     std::uint64_t seq;  // FIFO tiebreak at equal times
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    SmallFn fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
   };
 
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  bool entry_live(const Entry& e) const {
+    return slots_[e.slot].gen == e.gen;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void push_entry(const Entry& e);
+  void pop_root();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void maybe_compact();
+  void compact();
+
   TimePoint now_;
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::size_t live_ = 0;  // armed events (heap_.size() - live_ = tombstones)
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace synergy

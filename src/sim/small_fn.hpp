@@ -1,0 +1,120 @@
+// Small-buffer-optimized move-only `void()` callable.
+//
+// The simulator's hot path schedules and cancels millions of short-lived
+// lambdas (timer re-arms, message deliveries, write completions). Wrapping
+// each one in std::function costs a heap allocation whenever the capture
+// exceeds the implementation's tiny inline buffer; SmallFn sizes its buffer
+// so every callback the protocols actually create stays inline. Callables
+// larger than the buffer (or not nothrow-movable) fall back to the heap, so
+// correctness never depends on fitting.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace synergy {
+
+class SmallFn {
+ public:
+  /// Inline capacity in bytes. 48 holds a `this` pointer plus several
+  /// captured words — every callback in src/ fits without allocating.
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(std::move(o)); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) {
+    return f.ops_ != nullptr;
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the wrapped callable lives in the inline buffer (test hook).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* src, void* dst) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+      true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* src, void* dst) {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* p) { delete *static_cast<D**>(p); },
+      false,
+  };
+
+  void move_from(SmallFn&& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) ops_->relocate(o.buf_, buf_);
+    o.ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace synergy

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/rng.hpp"
@@ -148,6 +149,38 @@ TEST(StatsTest, HistogramClampsOutOfRange) {
   EXPECT_EQ(h.total(), 2u);
   EXPECT_EQ(h.bin_count(0), 1u);
   EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(StatsTest, RunningStatsEmptyMinMaxAborts) {
+  RunningStats s;
+  EXPECT_DEATH(static_cast<void>(s.min()), "precondition");
+  EXPECT_DEATH(static_cast<void>(s.max()), "precondition");
+  s.add(1.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 1.0);
+}
+
+TEST(StatsTest, HistogramRejectsNonFiniteSamples) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.rejected(), 3u);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.rejected(), 3u);
+  EXPECT_EQ(h.bin_count(2), 1u);  // finite samples still bin normally
+}
+
+TEST(StatsTest, HistogramQuantileClampsToLastNonEmptyBin) {
+  // Bottom-heavy: all mass in the first bin of [0, 100). The extreme
+  // quantile must report the top of that bin, never hi_ = 100.
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_LE(h.quantile(0.999), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
 }
 
 TEST(TypesTest, RolesAndCanonicalIds) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -96,6 +99,123 @@ TEST(SimulatorTest, StepReturnsFalseWhenIdle) {
   sim.schedule_at(TimePoint{1}, [] {});
   EXPECT_TRUE(sim.step());
   EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_at(TimePoint{10}, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(h));  // event already fired
+  EXPECT_FALSE(sim.cancel(EventHandle{}));  // default handle is inert
+}
+
+TEST(SimulatorTest, StaleHandleCannotCancelReusedSlot) {
+  Simulator sim;
+  bool a_ran = false;
+  bool b_ran = false;
+  EventHandle a = sim.schedule_at(TimePoint{10}, [&] { a_ran = true; });
+  EXPECT_TRUE(sim.cancel(a));
+  // The freed slot is recycled for b; a's stale handle must not reach it.
+  EventHandle b = sim.schedule_at(TimePoint{20}, [&] { b_ran = true; });
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+  // And after b fired, both handles are dead.
+  EXPECT_FALSE(sim.cancel(b));
+  EXPECT_FALSE(sim.cancel(a));
+}
+
+TEST(SimulatorTest, HandleSurvivesManySlotReuses) {
+  Simulator sim;
+  EventHandle first = sim.schedule_at(TimePoint{1}, [] {});
+  EXPECT_TRUE(sim.cancel(first));
+  for (int i = 0; i < 1000; ++i) {
+    EventHandle h = sim.schedule_at(TimePoint{1}, [] {});
+    EXPECT_FALSE(sim.cancel(first));  // generation tag blocks the stale handle
+    EXPECT_TRUE(sim.cancel(h));
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, CancelChurnKeepsQueueDepthBounded) {
+  // The old engine left one tombstone per cancel in the heap forever; a
+  // million paired schedule/cancel cycles grew the queue to ~10^6 entries.
+  // The compaction invariant bounds the heap at 2x the live event count
+  // (plus a small constant floor for tiny heaps).
+  Simulator sim;
+  std::uint64_t fired = 0;
+  constexpr std::size_t kLive = 1000;
+  for (std::size_t i = 0; i < kLive; ++i) {
+    sim.schedule_at(TimePoint{1'000'000'000 + static_cast<std::int64_t>(i)},
+                    [&] { ++fired; });
+  }
+  std::size_t peak_depth = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    EventHandle h = sim.schedule_at(TimePoint{2'000'000'000}, [&] { ++fired; });
+    ASSERT_TRUE(sim.cancel(h));
+    peak_depth = std::max(peak_depth, sim.queue_depth());
+  }
+  EXPECT_EQ(sim.pending(), kLive);
+  EXPECT_LE(sim.queue_depth(), 2 * sim.pending());
+  EXPECT_LE(peak_depth, 2 * (kLive + 1) + 1);  // never exceeded 2x live
+  sim.run();
+  EXPECT_EQ(fired, kLive);
+  EXPECT_EQ(sim.queue_depth(), 0u);
+}
+
+TEST(SimulatorTest, CompactionPreservesFifoOrder) {
+  // Cancel every other event to force compactions mid-stream, then check
+  // the survivors still fire in exact (time, seq) order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 500; ++i) {
+    // Many ties at each time to stress the seq tiebreak across compaction.
+    handles.push_back(sim.schedule_at(TimePoint{i / 10},
+                                      [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    EXPECT_TRUE(sim.cancel(handles[i]));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 250u);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_LT(order[i], order[i + 1]);
+  }
+}
+
+TEST(SimulatorTest, LargeCaptureCallbacksStillWork) {
+  // Captures bigger than SmallFn's inline buffer take the heap fallback.
+  Simulator sim;
+  std::array<std::uint64_t, 16> payload{};
+  payload.fill(7);
+  std::uint64_t sum = 0;
+  Simulator::Callback big = [payload, &sum] {
+    for (auto v : payload) sum += v;
+  };
+  EXPECT_FALSE(big.is_inline());
+  sim.schedule_at(TimePoint{1}, std::move(big));
+  SmallFn small = [&sum] { ++sum; };
+  EXPECT_TRUE(small.is_inline());
+  sim.schedule_at(TimePoint{2}, std::move(small));
+  sim.run();
+  EXPECT_EQ(sum, 16u * 7u + 1u);
+}
+
+TEST(SimulatorTest, RunUntilSkipsTombstonesWithoutAdvancingTime) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.schedule_at(TimePoint{10}, [&] { ran = true; });
+  sim.cancel(h);
+  sim.schedule_at(TimePoint{100}, [&] { ran = true; });
+  sim.run_until(TimePoint{50});
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.now(), TimePoint{50});
+  EXPECT_EQ(sim.pending(), 1u);
 }
 
 }  // namespace
