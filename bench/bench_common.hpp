@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/system.hpp"
@@ -115,6 +116,13 @@ class BenchJsonWriter {
  public:
   void add(BenchJsonEntry entry) { entries_.push_back(std::move(entry)); }
 
+  /// Attach a named scalar to the document's `counters` object (volume
+  /// counters such as checkpoint bytes encoded). The regression gate reads
+  /// only `benchmarks`; counters are informational trend data.
+  void set_counter(std::string name, std::uint64_t value) {
+    counters_.emplace_back(std::move(name), value);
+  }
+
   std::string to_json() const {
     std::string out = "{\n  \"schema\": \"synergy-bench-v1\",\n"
                       "  \"benchmarks\": [\n";
@@ -129,7 +137,20 @@ class BenchJsonWriter {
                     e.missions_per_sec, i + 1 < entries_.size() ? "," : "");
       out += buf;
     }
-    out += "  ]\n}\n";
+    out += "  ]";
+    if (!counters_.empty()) {
+      out += ",\n  \"counters\": {\n";
+      for (std::size_t i = 0; i < counters_.size(); ++i) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "    \"%s\": %llu%s\n",
+                      counters_[i].first.c_str(),
+                      static_cast<unsigned long long>(counters_[i].second),
+                      i + 1 < counters_.size() ? "," : "");
+        out += buf;
+      }
+      out += "  }";
+    }
+    out += "\n}\n";
     return out;
   }
 
@@ -145,6 +166,7 @@ class BenchJsonWriter {
 
  private:
   std::vector<BenchJsonEntry> entries_;
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
 };
 
 }  // namespace synergy::bench

@@ -15,6 +15,10 @@ Benchmarks only in CURRENT are reported as new and never fail the gate.
 A BASELINE with an empty benchmarks list is an error (exit 2): it would
 make the gate vacuously green, which always means a broken refresh. An
 empty CURRENT is caught by the missing-benchmark rule above.
+
+--strict NAME marks a benchmark as always-enforced: a regression in it
+fails the build even under --warn-only (repeatable; NAME must exist in
+BASELINE, else exit 2 — a typo would silently unguard the hot path).
 Exit status: 0 clean, 1 regression (unless --warn-only), 2 usage/IO error.
 scripts/test_check_bench_regression.py self-tests these paths in CI.
 
@@ -56,6 +60,9 @@ def main():
                     help="allowed fractional slowdown (default 0.5 = 50%%)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0 (PR builds)")
+    ap.add_argument("--strict", action="append", default=[], metavar="NAME",
+                    help="benchmark enforced even under --warn-only "
+                         "(repeatable)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -66,29 +73,39 @@ def main():
         # That is a broken refresh, not a clean run — fail loudly.
         die(f"{args.baseline}: baseline contains no benchmarks; "
             "regenerate it with scripts/refresh_bench_baselines.sh")
+    for name in args.strict:
+        if name not in base:
+            die(f"--strict {name}: not present in baseline {args.baseline}")
     slack = 1.0 + args.tolerance
 
     regressions = []
+    strict_regressions = []
     rows = []
+
+    def flag(name, message):
+        regressions.append(message)
+        if name in args.strict:
+            strict_regressions.append(message)
+
     for name, b in base.items():
         c = cur.get(name)
         if c is None:
-            regressions.append(f"{name}: missing from current run")
+            flag(name, f"{name}: missing from current run")
             rows.append((name, b["ns_per_op"], None, "MISSING"))
             continue
         verdict = "ok"
         if b["ns_per_op"] > 0 and c["ns_per_op"] > b["ns_per_op"] * slack:
             verdict = "REGRESSED"
-            regressions.append(
-                f"{name}: ns_per_op {c['ns_per_op']:.1f} vs baseline "
-                f"{b['ns_per_op']:.1f} (>{slack:.2f}x)")
+            flag(name,
+                 f"{name}: ns_per_op {c['ns_per_op']:.1f} vs baseline "
+                 f"{b['ns_per_op']:.1f} (>{slack:.2f}x)")
         b_mps = b.get("missions_per_sec", 0)
         c_mps = c.get("missions_per_sec", 0)
         if b_mps > 0 and c_mps < b_mps / slack:
             verdict = "REGRESSED"
-            regressions.append(
-                f"{name}: missions_per_sec {c_mps:.3f} vs baseline "
-                f"{b_mps:.3f} (<1/{slack:.2f}x)")
+            flag(name,
+                 f"{name}: missions_per_sec {c_mps:.3f} vs baseline "
+                 f"{b_mps:.3f} (<1/{slack:.2f}x)")
         rows.append((name, b["ns_per_op"], c["ns_per_op"], verdict))
     for name in cur:
         if name not in base:
@@ -110,6 +127,10 @@ def main():
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         if args.warn_only:
+            if strict_regressions:
+                print(f"{len(strict_regressions)} strict benchmark(s) "
+                      "regressed: failing despite warn-only", file=sys.stderr)
+                return 1
             print("warn-only mode: not failing the build", file=sys.stderr)
             return 0
         return 1

@@ -73,6 +73,22 @@ def main():
               run(tmp, b, doc([bench("a", 1000.0), bench("b", 50.0, mps=10.0)]),
                   "--warn-only"),
               0)
+        check("strict regression fails despite --warn-only",
+              run(tmp, b, doc([bench("a", 1000.0), bench("b", 50.0, mps=10.0)]),
+                  "--warn-only", "--strict", "a"),
+              1)
+        check("strict on a clean benchmark stays green under --warn-only",
+              run(tmp, b, doc([bench("a", 1000.0), bench("b", 50.0, mps=10.0)]),
+                  "--warn-only", "--strict", "b"),
+              0)
+        check("strict missing-from-current fails despite --warn-only",
+              run(tmp, b, doc([bench("b", 50.0, mps=10.0)]),
+                  "--warn-only", "--strict", "a"),
+              1)
+        check("strict name absent from baseline is an explicit error",
+              run(tmp, b, doc([bench("a", 100.0), bench("b", 50.0, mps=10.0)]),
+                  "--strict", "zz"),
+              2)
         check("benchmark missing from current",
               run(tmp, b, doc([bench("a", 100.0)])),
               1)

@@ -25,6 +25,7 @@ void ApplicationState::apply_message(std::uint64_t payload,
   regs_[payload % regs_.size()] ^= mix(payload);
   regs_[0] += payload;
   ++steps_;
+  ++version_;
   if (payload_tainted) tainted_ = true;
 }
 
@@ -32,6 +33,7 @@ void ApplicationState::local_step(std::uint64_t input) {
   const std::uint64_t m = mix(input ^ regs_[steps_ % regs_.size()]);
   regs_[(steps_ + 1) % regs_.size()] += m;
   ++steps_;
+  ++version_;
 }
 
 std::uint64_t ApplicationState::output() const {
@@ -43,14 +45,24 @@ std::uint64_t ApplicationState::output() const {
 void ApplicationState::corrupt(std::uint64_t noise) {
   regs_[noise % regs_.size()] ^= (noise | 1);
   tainted_ = true;
+  ++version_;
 }
 
 Bytes ApplicationState::snapshot() const {
   ByteWriter w;
+  w.reserve(kEncodedSize);
+  snapshot_into(w);
+  return w.take();
+}
+
+void ApplicationState::snapshot_into(ByteWriter& w) const {
   for (const auto r : regs_) w.u64(r);
   w.u64(steps_);
   w.u8(tainted_ ? 1 : 0);
-  return w.take();
+}
+
+const SharedBytes& ApplicationState::snapshot_shared() const {
+  return cache_.get(version_, [this] { return snapshot(); });
 }
 
 void ApplicationState::restore(const Bytes& snapshot) {
@@ -58,6 +70,9 @@ void ApplicationState::restore(const Bytes& snapshot) {
   for (auto& reg : regs_) reg = r.u64();
   steps_ = r.u64();
   tainted_ = r.u8() != 0;
+  // The restored state may differ from whatever the cache last encoded;
+  // a conservative bump costs one re-encode, a stale hit would be a bug.
+  ++version_;
 }
 
 std::uint64_t ApplicationState::fingerprint() const {

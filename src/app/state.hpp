@@ -44,16 +44,37 @@ class ApplicationState {
   bool tainted() const { return tainted_; }
   std::uint64_t steps() const { return steps_; }
 
+  /// Monotone mutation stamp: bumped by every mutating entry point
+  /// (apply_message, local_step, corrupt, restore). The snapshot cache
+  /// keys on it, so an unchanged version means the cached encoded blob is
+  /// exactly what snapshot() would produce.
+  std::uint64_t version() const { return version_; }
+
   Bytes snapshot() const;
+  /// Append the snapshot encoding to `w` (scratch-buffer reuse).
+  void snapshot_into(ByteWriter& w) const;
+  /// Shared encoded snapshot, cached by version: repeated checkpoints of
+  /// an unchanged state re-use one immutable buffer without re-encoding.
+  const SharedBytes& snapshot_shared() const;
   void restore(const Bytes& snapshot);
 
   /// Order-insensitive equality check helper for tests.
   std::uint64_t fingerprint() const;
 
+  std::uint64_t snapshot_cache_hits() const { return cache_.hits(); }
+  std::uint64_t snapshot_cache_misses() const { return cache_.misses(); }
+  std::uint64_t snapshot_bytes_encoded() const {
+    return cache_.bytes_encoded();
+  }
+
  private:
+  static constexpr std::size_t kEncodedSize = 8 * 8 + 8 + 1;
+
   std::array<std::uint64_t, 8> regs_{};
   std::uint64_t steps_ = 0;
   bool tainted_ = false;
+  std::uint64_t version_ = 0;
+  mutable SnapshotCache cache_;
 };
 
 }  // namespace synergy

@@ -5,14 +5,27 @@
 
 namespace synergy {
 
+const Bytes& SharedBytes::empty_bytes() {
+  static const Bytes empty;
+  return empty;
+}
+
+std::uint8_t* ByteWriter::grow(std::size_t n) {
+  const std::size_t old = buf_.size();
+  buf_.resize(old + n);
+  return buf_.data() + old;
+}
+
 void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 
 void ByteWriter::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  std::uint8_t* p = grow(4);
+  for (int i = 0; i < 4; ++i) p[i] = (v >> (8 * i)) & 0xFF;
 }
 
 void ByteWriter::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  std::uint8_t* p = grow(8);
+  for (int i = 0; i < 8; ++i) p[i] = (v >> (8 * i)) & 0xFF;
 }
 
 void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
@@ -34,6 +47,10 @@ void ByteWriter::bytes(const Bytes& b) {
 }
 
 void ByteWriter::bytes_raw(const Bytes& b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void ByteWriter::bytes_raw(ByteView b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
@@ -90,9 +107,34 @@ Bytes ByteReader::bytes() {
   return b;
 }
 
+ByteView ByteReader::bytes_view() {
+  const std::uint32_t n = u32();
+  if (!require(n)) return {};
+  ByteView v{data_.data() + pos_, n};
+  pos_ += n;
+  return v;
+}
+
+std::string_view ByteReader::str_view() {
+  const ByteView v = bytes_view();
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+void ByteReader::skip(std::size_t n) {
+  if (!require(n)) return;
+  pos_ += n;
+}
+
 Bytes ByteReader::rest() {
   if (failed_) return {};
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+  pos_ = data_.size();
+  return out;
+}
+
+ByteView ByteReader::rest_view() {
+  if (failed_) return {};
+  ByteView out{data_.data() + pos_, data_.size() - pos_};
   pos_ = data_.size();
   return out;
 }
@@ -108,29 +150,73 @@ std::uint64_t fingerprint(const Bytes& data) {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_crc32_table() {
-  std::array<std::uint32_t, 256> table{};
+constexpr std::uint32_t kCrcPoly = 0xEDB88320u;
+
+// Slicing-by-8 tables. Table 0 is the classic byte-at-a-time table;
+// table k extends a byte's effect through k further zero bytes, so eight
+// input bytes fold into one table lookup each per 8-byte block.
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+};
+
+Crc32Tables make_crc32_tables() {
+  Crc32Tables tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      c = (c & 1) ? kCrcPoly ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables.t[k - 1][i];
+      tables.t[k][i] = tables.t[0][prev & 0xFF] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+const Crc32Tables& crc32_tables() {
+  static const Crc32Tables tables = make_crc32_tables();
+  return tables;
+}
+
+// Little-endian 32-bit load, endianness-portable (single mov on LE).
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | std::uint32_t{p[1]} << 8 |
+         std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24;
 }
 
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
-  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  const auto& t = crc32_tables().t;
+  std::uint32_t c = 0xFFFFFFFFu;
+  while (n >= 8) {
+    const std::uint32_t one = load_le32(data) ^ c;
+    const std::uint32_t two = load_le32(data + 4);
+    c = t[7][one & 0xFF] ^ t[6][(one >> 8) & 0xFF] ^ t[5][(one >> 16) & 0xFF] ^
+        t[4][one >> 24] ^ t[3][two & 0xFF] ^ t[2][(two >> 8) & 0xFF] ^
+        t[1][(two >> 16) & 0xFF] ^ t[0][two >> 24];
+    data += 8;
+    n -= 8;
+  }
+  while (n--) {
+    c = t[0][(c ^ *data++) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const Bytes& data) { return crc32(data.data(), data.size()); }
+
+std::uint32_t crc32_reference(const std::uint8_t* data, std::size_t n) {
+  const auto& table = crc32_tables().t[0];
   std::uint32_t c = 0xFFFFFFFFu;
   for (std::size_t i = 0; i < n; ++i) {
     c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }
-
-std::uint32_t crc32(const Bytes& data) { return crc32(data.data(), data.size()); }
 
 }  // namespace synergy

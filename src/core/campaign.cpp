@@ -135,7 +135,19 @@ MissionReport run_mission(const CampaignConfig& config,
   report.late_deliveries = system.net().late_deliveries();
   for (std::uint32_t p = 0; p < kNumCanonicalProcesses; ++p) {
     ProcessNode& n = system.node(ProcessId{p});
+    report.ckpt_records += n.vstore().saves();
+    report.ckpt_bytes_encoded += n.app().snapshot_bytes_encoded() +
+                                 n.engine().protocol_bytes_encoded() +
+                                 n.endpoint().snapshot_bytes_encoded();
+    report.ckpt_cache_hits += n.app().snapshot_cache_hits() +
+                              n.engine().protocol_cache_hits() +
+                              n.endpoint().snapshot_cache_hits();
+    report.ckpt_cache_misses += n.app().snapshot_cache_misses() +
+                                n.engine().protocol_cache_misses() +
+                                n.endpoint().snapshot_cache_misses();
     if (!n.has_stable_storage()) continue;
+    report.ckpt_records += n.sstore().commits();
+    report.stable_bytes_written += n.sstore().bytes_written();
     report.write_retries += n.sstore().write_retries();
     report.failed_writes += n.sstore().failed_writes();
     report.torn_writes += n.sstore().torn_writes();
@@ -172,6 +184,11 @@ bool operator==(const MissionReport& a, const MissionReport& b) {
          a.drift_excursions == b.drift_excursions &&
          a.missed_resyncs == b.missed_resyncs &&
          a.sw_recoveries == b.sw_recoveries &&
+         a.ckpt_records == b.ckpt_records &&
+         a.ckpt_bytes_encoded == b.ckpt_bytes_encoded &&
+         a.ckpt_cache_hits == b.ckpt_cache_hits &&
+         a.ckpt_cache_misses == b.ckpt_cache_misses &&
+         a.stable_bytes_written == b.stable_bytes_written &&
          a.schedule_json == b.schedule_json &&
          ma.bound_violations == mb.bound_violations &&
          ma.blocking_overruns == mb.blocking_overruns &&

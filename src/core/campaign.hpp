@@ -73,6 +73,16 @@ struct MissionReport {
   std::uint64_t missed_resyncs = 0;
   std::uint64_t sw_recoveries = 0;
 
+  // Checkpoint-volume counters (allocation-lean pipeline observability):
+  // how much state the mission actually checkpointed, and how often the
+  // version-keyed snapshot caches spared a re-encode. Reported via the
+  // CLI's --json output only; the per-mission text lines stay unchanged.
+  std::uint64_t ckpt_records = 0;        ///< volatile saves + stable commits
+  std::uint64_t ckpt_bytes_encoded = 0;  ///< snapshot bytes serialized
+  std::uint64_t ckpt_cache_hits = 0;     ///< across app/protocol/transport
+  std::uint64_t ckpt_cache_misses = 0;
+  std::uint64_t stable_bytes_written = 0;
+
   MonitorStats monitor;
 
   /// Populated when the mission failed: the full replayable adversary.

@@ -452,9 +452,12 @@ CheckpointRecord GeneralEngine::make_record(CkptKind kind) const {
   rec.state_time = current_time();
   rec.dirty_bit = contamination_flag();
   rec.ndc = ndc_provider_();
-  rec.app_state = services_.app->snapshot();
+  // App and transport snapshots are version-cached shared blobs; the
+  // generalized engine's protocol state has no version stamp (anchor
+  // candidates mutate it from many sites), so it still encodes per record.
+  rec.app_state = services_.app->snapshot_shared();
   rec.protocol_state = snapshot_protocol_state();
-  rec.transport_state = services_.transport->snapshot_state();
+  rec.transport_state = services_.transport->snapshot_state_shared();
   rec.unacked = services_.transport->unacked();
   return rec;
 }
@@ -519,7 +522,7 @@ Bytes normalize_anchor_state(const Bytes& state, const ContamVector& known) {
       contam_serialize(cv, w);
     }
   }
-  w.bytes_raw(r.rest());
+  w.bytes_raw(r.rest_view());
   return w.take();
 }
 

@@ -53,6 +53,7 @@ void MdcdEngine::on_app_send(bool external, std::uint64_t input) {
     ++deferred_ops_;
     return;
   }
+  bump_protocol_version();  // role hooks mutate serialized state freely
   do_app_send(external, input);
 }
 
@@ -105,11 +106,13 @@ void MdcdEngine::process_passed_at(const Message& m) {
   // Validation notifications are acknowledged immediately: their effect
   // is a monotone watermark, so redelivery after a rollback is harmless.
   services_.transport->ack(m);
+  bump_protocol_version();  // role hooks mutate serialized state freely
   do_passed_at(m);
 }
 
 void MdcdEngine::process_app_message(const Message& m) {
   if (!consume_or_drop(m)) return;
+  bump_protocol_version();  // role hooks mutate serialized state freely
   do_app_message(m);
   // Marking and acking come after the role handler ran: the Type-1
   // checkpoint it may have established must capture a transport state
@@ -188,6 +191,7 @@ void MdcdEngine::end_blocking() {
   for (auto& op : pending) {
     if (!alive_) break;
     if (auto* send = std::get_if<SendReq>(&op)) {
+      bump_protocol_version();
       do_app_send(send->external, send->input);
     } else if (auto* step = std::get_if<StepReq>(&op)) {
       on_local_step(step->input);
@@ -238,6 +242,7 @@ bool MdcdEngine::effectively_dirty(const Message& m) {
 void MdcdEngine::mark_dirty() {
   if (dirty_) return;
   dirty_ = true;
+  bump_protocol_version();
   trace(TraceKind::kDirtySet);
 }
 
@@ -245,6 +250,7 @@ void MdcdEngine::clear_dirty() {
   if (!dirty_) return;
   dirty_ = false;
   dirty_contam_ = 0;
+  bump_protocol_version();
   trace(TraceKind::kDirtyClear);
   if (!contamination_flag()) {
     flush_deferred_acks();
@@ -254,6 +260,7 @@ void MdcdEngine::clear_dirty() {
 
 void MdcdEngine::note_validation(MsgSeq watermark) {
   validated_w_ = std::max(validated_w_, watermark);
+  bump_protocol_version();
   if (config_.tracking == ContaminationTracking::kPaperDirtyBit) {
     sent_views_.validate_all();
     recv_views_.validate_all();
@@ -270,6 +277,7 @@ bool MdcdEngine::validation_covers_dirt(MsgSeq watermark) const {
 
 void MdcdEngine::absorb_contamination(const Message& m) {
   dirty_contam_ = std::max(dirty_contam_, m.contam_sn);
+  bump_protocol_version();
 }
 
 void MdcdEngine::fence_all_below(std::uint32_t epoch) {
@@ -302,6 +310,7 @@ void MdcdEngine::send_recorded(Message m, bool suspect) {
   const std::uint64_t seq = services_.transport->send(std::move(m));
   if (config_.record_history && kind != MsgKind::kPassedAt) {
     sent_views_.add(MsgView{to, seq, sn, kind, suspect, contam});
+    bump_protocol_version();
   }
   trace(TraceKind::kSend, std::string(to_string(kind)) + "->" + to_string(to),
         sn, seq);
@@ -311,6 +320,7 @@ void MdcdEngine::record_recv(const Message& m, bool suspect) {
   if (config_.record_history && m.kind != MsgKind::kPassedAt) {
     recv_views_.add(MsgView{m.sender, m.transport_seq, m.sn, m.kind, suspect,
                             m.contam_sn});
+    bump_protocol_version();
   }
 }
 
@@ -324,9 +334,15 @@ CheckpointRecord MdcdEngine::make_record(CkptKind kind) const {
   rec.state_time = now();
   rec.dirty_bit = contamination_flag();
   rec.ndc = ndc();
-  rec.app_state = services_.app->snapshot();
-  rec.protocol_state = snapshot_protocol_state();
-  rec.transport_state = services_.transport->snapshot_state();
+  // Version-cached shared blobs: repeated checkpoints of an unchanged
+  // process (e.g. clean-state TB timer expiries) alias the same immutable
+  // buffers instead of re-encoding three snapshots per record.
+  rec.app_state = services_.app->snapshot_shared();
+  rec.protocol_state =
+      proto_cache_.get(protocol_version_, [this] {
+        return snapshot_protocol_state();
+      });
+  rec.transport_state = services_.transport->snapshot_state_shared();
   rec.unacked = services_.transport->unacked();
   return rec;
 }
@@ -370,6 +386,9 @@ void MdcdEngine::restore_protocol_state(const Bytes& state) {
   sent_views_ = ViewLog::deserialize(r);
   recv_views_ = ViewLog::deserialize(r);
   deserialize_role_state(r);
+  // The restored state may differ from whatever the cache last encoded;
+  // a conservative bump costs one re-encode, a stale hit would be a bug.
+  bump_protocol_version();
 }
 
 void MdcdEngine::serialize_role_state(ByteWriter&) const {}

@@ -101,7 +101,10 @@ class MdcdEngine : public CheckpointableProcess {
   /// guarded mode ends (successful upgrade or takeover), dirty bits stay 0
   /// and MDCD "goes on leave" (paper §4.2).
   bool guarded() const { return guarded_; }
-  virtual void set_guarded(bool guarded) { guarded_ = guarded; }
+  virtual void set_guarded(bool guarded) {
+    guarded_ = guarded;
+    bump_protocol_version();
+  }
 
   /// A terminated engine ignores all events (P1act after takeover; any
   /// process while its node is crashed).
@@ -142,6 +145,20 @@ class MdcdEngine : public CheckpointableProcess {
   std::uint64_t volatile_checkpoints() const { return vckpts_; }
   /// Operations deferred by blocking periods so far (overhead metric).
   std::uint64_t deferred_ops() const { return deferred_ops_; }
+
+  /// Monotone mutation stamp of the serialized protocol state. Bumped
+  /// conservatively: at every event-dispatch site that can reach a role
+  /// hook, and by every helper that touches a serialized field. An
+  /// over-bump wastes one re-encode; an under-bump would hand out a stale
+  /// checkpoint blob (the invalidation test hunts for those).
+  std::uint64_t protocol_version() const { return protocol_version_; }
+  std::uint64_t protocol_cache_hits() const { return proto_cache_.hits(); }
+  std::uint64_t protocol_cache_misses() const {
+    return proto_cache_.misses();
+  }
+  std::uint64_t protocol_bytes_encoded() const {
+    return proto_cache_.bytes_encoded();
+  }
 
  protected:
   // Role hooks, invoked outside blocking (or after deferral).
@@ -207,6 +224,9 @@ class MdcdEngine : public CheckpointableProcess {
 
   void trace(TraceKind kind, std::string detail = {}, std::uint64_t a = 0,
              std::uint64_t b = 0) const;
+  /// Roles call this whenever they mutate serialized role state outside
+  /// the dispatched event hooks (which bump automatically).
+  void bump_protocol_version() { ++protocol_version_; }
   TimePoint now() const { return services_.now(); }
   StableSeq ndc() const { return ndc_provider_(); }
   void notify_contamination_cleared();
@@ -256,6 +276,8 @@ class MdcdEngine : public CheckpointableProcess {
   std::function<void()> validation_observer_;
   std::uint64_t vckpts_ = 0;
   std::uint64_t deferred_ops_ = 0;
+  std::uint64_t protocol_version_ = 0;
+  mutable SnapshotCache proto_cache_;
 };
 
 }  // namespace synergy

@@ -28,6 +28,7 @@ void P1ActEngine::maybe_all_clear() {
 void P1ActEngine::clear_pseudo_dirty() {
   if (!pseudo_dirty_) return;
   pseudo_dirty_ = false;
+  bump_protocol_version();  // serialized role state changed
   trace(TraceKind::kPseudoDirtyClear);
   maybe_all_clear();
 }
@@ -36,6 +37,7 @@ void P1ActEngine::clear_recv_dirty() {
   if (!recv_dirty_) return;
   recv_dirty_ = false;
   dirty_contam_ = 0;
+  bump_protocol_version();  // serialized role state changed
   trace(TraceKind::kDirtyClear);
   maybe_all_clear();
 }
@@ -129,6 +131,7 @@ void P1ActEngine::do_app_message(const Message& m) {
     }
     if (!recv_dirty_) {
       recv_dirty_ = true;
+      bump_protocol_version();  // serialized role state changed
       trace(TraceKind::kDirtySet);
     }
     absorb_contamination(m);

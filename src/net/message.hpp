@@ -87,6 +87,10 @@ struct Message {
   /// out of range. Never aborts — corrupted wire/stable bytes must be
   /// detected and reported, not crash the process.
   static std::optional<Message> try_deserialize(ByteReader& r);
+
+  /// Serialized size in bytes; arithmetic, mirrors serialize() exactly
+  /// (checkpoint records size their stable writes with this).
+  std::size_t encoded_size() const { return 75 + aux.size(); }
 };
 
 /// Messages that carry application-visible content, as opposed to

@@ -55,8 +55,8 @@ std::vector<Message> ReliableEndpoint::unacked() const {
   return core_.unacked();
 }
 
-void ReliableEndpoint::restore_unacked(std::vector<Message> msgs) {
-  core_.restore_unacked(std::move(msgs));
+void ReliableEndpoint::restore_unacked(const std::vector<Message>& msgs) {
+  core_.restore_unacked(msgs);
 }
 
 std::size_t ReliableEndpoint::resend_unacked(std::uint32_t epoch) {
@@ -68,6 +68,10 @@ std::size_t ReliableEndpoint::resend_unacked(std::uint32_t epoch) {
 }
 
 Bytes ReliableEndpoint::snapshot_state() const { return core_.snapshot_state(); }
+
+SharedBytes ReliableEndpoint::snapshot_state_shared() const {
+  return core_.snapshot_state_shared();
+}
 
 void ReliableEndpoint::restore_state(const Bytes& state) {
   core_.restore_state(state);

@@ -68,7 +68,7 @@ class Transport {
   virtual std::vector<Message> unacked() const = 0;
 
   /// Replace the unacked log (hardware-fault recovery).
-  virtual void restore_unacked(std::vector<Message> msgs) = 0;
+  virtual void restore_unacked(const std::vector<Message>& msgs) = 0;
 
   /// Re-send every unacked message, re-stamped with `epoch` (the new
   /// recovery incarnation, so receivers don't fence them as stale).
@@ -78,6 +78,13 @@ class Transport {
   /// Serialize / restore dedup state + send counter for checkpoints.
   virtual Bytes snapshot_state() const = 0;
   virtual void restore_state(const Bytes& state) = 0;
+
+  /// Shared encoded dedup state for checkpoint records. Hosts backed by
+  /// TransportCore return its version-cached buffer; the default wraps
+  /// snapshot_state() uncached.
+  virtual SharedBytes snapshot_state_shared() const {
+    return SharedBytes(snapshot_state());
+  }
 };
 
 class ReliableEndpoint final : public Transport {
@@ -100,10 +107,22 @@ class ReliableEndpoint final : public Transport {
   void mark_consumed(const Message& m) override;
   void ack(const Message& m) override;
   std::vector<Message> unacked() const override;
-  void restore_unacked(std::vector<Message> msgs) override;
+  void restore_unacked(const std::vector<Message>& msgs) override;
   std::size_t resend_unacked(std::uint32_t epoch) override;
   Bytes snapshot_state() const override;
   void restore_state(const Bytes& state) override;
+  SharedBytes snapshot_state_shared() const override;
+
+  std::uint64_t state_version() const { return core_.state_version(); }
+  std::uint64_t snapshot_cache_hits() const {
+    return core_.snapshot_cache_hits();
+  }
+  std::uint64_t snapshot_cache_misses() const {
+    return core_.snapshot_cache_misses();
+  }
+  std::uint64_t snapshot_bytes_encoded() const {
+    return core_.snapshot_bytes_encoded();
+  }
 
   /// Crash semantics: stop receiving (network deliveries to this process
   /// are dropped while detached).

@@ -9,6 +9,7 @@ namespace synergy {
 Message TransportCore::prepare_send(Message m) {
   m.sender = self_;
   m.transport_seq = next_transport_seq_++;
+  ++version_;  // the send counter is part of the snapshotted state
   // Acks are not themselves acknowledged (no ack-of-ack regress); device
   // messages are fire-and-forget because the external world never replies.
   if (m.kind != MsgKind::kAck && m.receiver != kDeviceId) {
@@ -37,6 +38,7 @@ bool TransportCore::already_consumed(const Message& m) const {
 void TransportCore::mark_consumed(const Message& m) {
   SYNERGY_EXPECTS(m.kind != MsgKind::kAck);
   consumed_[m.sender].insert(m.transport_seq);
+  ++version_;
 }
 
 std::vector<Message> TransportCore::unacked() const {
@@ -46,13 +48,14 @@ std::vector<Message> TransportCore::unacked() const {
   return out;
 }
 
-void TransportCore::restore_unacked(std::vector<Message> msgs) {
+void TransportCore::restore_unacked(const std::vector<Message>& msgs) {
   unacked_.clear();
-  for (auto& m : msgs) {
+  for (const auto& m : msgs) {
     SYNERGY_EXPECTS(m.sender == self_);
     next_transport_seq_ = std::max(next_transport_seq_, m.transport_seq + 1);
-    unacked_.emplace(m.transport_seq, std::move(m));
+    unacked_.emplace(m.transport_seq, m);
   }
+  ++version_;  // next_transport_seq_ may have moved
 }
 
 std::vector<Message> TransportCore::prepare_resend(std::uint32_t epoch) {
@@ -77,6 +80,10 @@ Bytes TransportCore::snapshot_state() const {
   return w.take();
 }
 
+const SharedBytes& TransportCore::snapshot_state_shared() const {
+  return cache_.get(version_, [this] { return snapshot_state(); });
+}
+
 void TransportCore::restore_state(const Bytes& state) {
   ByteReader r(state);
   next_transport_seq_ = std::max(next_transport_seq_, r.u64());
@@ -88,6 +95,7 @@ void TransportCore::restore_state(const Bytes& state) {
     auto& seqs = consumed_[peer];
     for (std::uint32_t j = 0; j < n; ++j) seqs.insert(r.u64());
   }
+  ++version_;
 }
 
 }  // namespace synergy

@@ -40,7 +40,7 @@ class TransportCore {
   void mark_consumed(const Message& m);
 
   std::vector<Message> unacked() const;
-  void restore_unacked(std::vector<Message> msgs);
+  void restore_unacked(const std::vector<Message>& msgs);
 
   /// Re-stamp every unacked message with `epoch` and hand copies back for
   /// the host to put on the wire.
@@ -49,16 +49,32 @@ class TransportCore {
   Bytes snapshot_state() const;
   void restore_state(const Bytes& state);
 
+  /// Monotone mutation stamp of the snapshotted dedup state (send counter
+  /// + consumed sets): bumped by prepare_send, mark_consumed and
+  /// restore_state. Keys the snapshot cache below.
+  std::uint64_t state_version() const { return version_; }
+
+  /// Shared encoded dedup state, cached by version — a checkpoint taken
+  /// with no intervening sends/consumptions re-uses the previous buffer.
+  const SharedBytes& snapshot_state_shared() const;
+
   std::size_t unacked_count() const { return unacked_.size(); }
   std::uint64_t duplicates_suppressed() const { return dups_; }
+  std::uint64_t snapshot_cache_hits() const { return cache_.hits(); }
+  std::uint64_t snapshot_cache_misses() const { return cache_.misses(); }
+  std::uint64_t snapshot_bytes_encoded() const {
+    return cache_.bytes_encoded();
+  }
 
  private:
   ProcessId self_;
   std::uint64_t next_transport_seq_ = 1;
+  std::uint64_t version_ = 0;
   // Ordered containers keep snapshots and checkpoints deterministic.
   std::map<std::uint64_t, Message> unacked_;
   std::map<ProcessId, std::set<std::uint64_t>> consumed_;
   mutable std::uint64_t dups_ = 0;
+  mutable SnapshotCache cache_;
 };
 
 }  // namespace synergy

@@ -33,8 +33,8 @@ class ThreadTransport final : public Transport {
   }
 
   std::vector<Message> unacked() const override { return core_.unacked(); }
-  void restore_unacked(std::vector<Message> msgs) override {
-    core_.restore_unacked(std::move(msgs));
+  void restore_unacked(const std::vector<Message>& msgs) override {
+    core_.restore_unacked(msgs);
   }
   std::size_t resend_unacked(std::uint32_t epoch) override {
     const auto msgs = core_.prepare_resend(epoch);
@@ -42,6 +42,9 @@ class ThreadTransport final : public Transport {
     return msgs.size();
   }
   Bytes snapshot_state() const override { return core_.snapshot_state(); }
+  SharedBytes snapshot_state_shared() const override {
+    return core_.snapshot_state_shared();
+  }
   void restore_state(const Bytes& state) override {
     core_.restore_state(state);
   }

@@ -16,6 +16,7 @@ const char* to_string(CkptKind kind) {
 
 void CheckpointRecord::serialize(ByteWriter& w) const {
   const std::size_t start = w.data().size();
+  w.reserve(start + encoded_size());  // one exact-size allocation
   w.u8(static_cast<std::uint8_t>(kind));
   w.u32(owner.value());
   w.i64(established_at.count());
@@ -80,9 +81,16 @@ std::optional<CheckpointRecord> CheckpointRecord::try_deserialize(
 }
 
 std::size_t CheckpointRecord::encoded_size() const {
-  ByteWriter w;
-  serialize(w);
-  return w.data().size();
+  // Mirrors serialize() field for field; the round-trip test in
+  // storage_test asserts the two never drift apart.
+  std::size_t n = 1 + 4 + 8 + 8 + 1 + 8;                    // header fields
+  n += 4 + app_state.size();                                // length-prefixed
+  n += 4 + protocol_state.size();
+  n += 4 + transport_state.size();
+  n += 4;                                                   // unacked count
+  for (const auto& m : unacked) n += m.encoded_size();
+  n += 4;                                                   // trailing CRC
+  return n;
 }
 
 }  // namespace synergy

@@ -52,14 +52,19 @@ struct CheckpointRecord {
   /// Stable-checkpoint sequence number (Ndc) at establishment.
   StableSeq ndc = 0;
 
-  Bytes app_state;
-  Bytes protocol_state;
+  /// Encoded snapshots are refcounted and immutable: copying a record
+  /// (volatile → stable promotion, retained-history reads) bumps reference
+  /// counts instead of deep-copying blobs, and the per-source snapshot
+  /// caches hand the same buffer to every record established while the
+  /// source's version stamp is unchanged.
+  SharedBytes app_state;
+  SharedBytes protocol_state;
 
   /// Transport bookkeeping captured at the same instant as the state:
   /// duplicate-suppression sets and the send-sequence counter. A restored
   /// process must suppress exactly the messages its restored state already
   /// reflects, and must not reuse live sequence numbers.
-  Bytes transport_state;
+  SharedBytes transport_state;
 
   /// Unacknowledged application-purpose messages to re-send on hardware
   /// recovery (stable checkpoints only; empty for volatile records).
@@ -78,6 +83,8 @@ struct CheckpointRecord {
   static std::optional<CheckpointRecord> try_deserialize(ByteReader& r);
 
   /// Encoded size in bytes (what a stable write actually persists).
+  /// Computed arithmetically — no serialization happens — so the stable
+  /// store's latency model and exact-size buffer reservations are free.
   std::size_t encoded_size() const;
 };
 

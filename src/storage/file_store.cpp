@@ -20,8 +20,11 @@ fs::path FileStableStore::path_for(StableSeq ndc) const {
 }
 
 void FileStableStore::commit(const CheckpointRecord& record) {
-  ByteWriter w;
-  record.serialize(w);
+  // The encoded bytes only feed the stream write, so the scratch writer's
+  // capacity is reusable across commits (clear() keeps it).
+  scratch_.clear();
+  record.serialize(scratch_);
+  const ByteWriter& w = scratch_;
   const fs::path target = path_for(record.ndc);
   const fs::path tmp = target.string() + ".tmp";
   {

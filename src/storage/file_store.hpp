@@ -49,6 +49,7 @@ class FileStableStore {
 
   std::filesystem::path dir_;
   ProcessId owner_;
+  ByteWriter scratch_;  // reused across commits; clear() keeps capacity
 };
 
 }  // namespace synergy

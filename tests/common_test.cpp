@@ -123,6 +123,139 @@ TEST(SerializeTest, FingerprintDistinguishesContent) {
   EXPECT_EQ(fingerprint(Bytes{1, 2, 3}), fingerprint(Bytes{1, 2, 3}));
 }
 
+TEST(SerializeTest, WriterClearKeepsEncodingIdentical) {
+  ByteWriter w;
+  w.u64(1);
+  w.str("warmup");
+  const Bytes first = [] {
+    ByteWriter fresh;
+    fresh.u32(7);
+    fresh.str("abc");
+    return fresh.take();
+  }();
+  w.clear();
+  w.u32(7);
+  w.str("abc");
+  EXPECT_EQ(w.data(), first);  // scratch reuse never changes the bytes
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(SerializeTest, ViewReadsMatchCopyingReads) {
+  ByteWriter w;
+  w.bytes(Bytes{9, 8, 7});
+  w.str("view");
+  w.u8(0x5A);
+  w.u32(123);
+
+  ByteReader copy(w.data());
+  ByteReader view(w.data());
+  EXPECT_EQ(copy.bytes(), (Bytes{9, 8, 7}));
+  const ByteView bv = view.bytes_view();
+  EXPECT_EQ(Bytes(bv.begin(), bv.end()), (Bytes{9, 8, 7}));
+  EXPECT_EQ(copy.str(), "view");
+  EXPECT_EQ(view.str_view(), "view");
+  (void)copy.u8();
+  view.skip(1);  // inspection paths may skip fields they ignore
+  EXPECT_EQ(copy.u32(), view.u32());
+  const ByteView rest = view.rest_view();
+  EXPECT_TRUE(rest.empty());
+  EXPECT_TRUE(view.exhausted());
+  EXPECT_TRUE(view.ok());
+}
+
+TEST(SerializeTest, SharedBytesAliasesWithoutCopying) {
+  const SharedBytes a{Bytes{1, 2, 3}};
+  const SharedBytes b = a;  // refcount bump, same buffer
+  EXPECT_TRUE(a.shares_buffer_with(b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, (Bytes{1, 2, 3}));
+  EXPECT_EQ((Bytes{1, 2, 3}), b);
+  EXPECT_EQ(a.get().data(), b.get().data());
+
+  const SharedBytes c{Bytes{1, 2, 3}};  // equal content, distinct buffer
+  EXPECT_EQ(a, c);
+  EXPECT_FALSE(a.shares_buffer_with(c));
+
+  SharedBytes empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_FALSE(empty.shares_buffer_with(empty));  // null never "shares"
+}
+
+TEST(SnapshotCacheTest, ReencodesOnlyOnVersionChange) {
+  SnapshotCache cache;
+  int encodes = 0;
+  auto encode = [&encodes] {
+    ++encodes;
+    return Bytes{1, 2, 3};
+  };
+  const SharedBytes first = cache.get(1, encode);
+  const SharedBytes again = cache.get(1, encode);
+  EXPECT_EQ(encodes, 1);
+  EXPECT_TRUE(first.shares_buffer_with(again));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const SharedBytes moved = cache.get(2, encode);
+  EXPECT_EQ(encodes, 2);
+  EXPECT_FALSE(first.shares_buffer_with(moved));
+  EXPECT_EQ(cache.bytes_encoded(), 6u);
+
+  cache.invalidate();
+  (void)cache.get(2, encode);  // same version, but invalidated: re-encode
+  EXPECT_EQ(encodes, 3);
+}
+
+// ---- CRC-32 ----------------------------------------------------------------
+
+TEST(Crc32Test, KnownAnswerVector) {
+  // The IEEE 802.3 check value: CRC-32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SlicedMatchesReferenceAcrossLengthsAndAlignments) {
+  // The slicing-by-8 hot path must be bit-identical to the byte-at-a-time
+  // reference for every tail length (0..7 residues) and for unaligned
+  // starts, or existing stable blobs would stop verifying.
+  Rng rng(21);
+  Bytes buf(4096 + 16);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  for (std::size_t len : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 63u,
+                          64u, 65u, 255u, 1024u, 4095u, 4096u}) {
+    for (std::size_t offset : {0u, 1u, 3u, 5u}) {
+      EXPECT_EQ(crc32(buf.data() + offset, len),
+                crc32_reference(buf.data() + offset, len))
+          << "len=" << len << " offset=" << offset;
+    }
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitCorruption) {
+  Rng rng(33);
+  Bytes buf(512);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  const std::uint32_t clean = crc32(buf);
+  for (std::size_t byte : {0u, 255u, 511u}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes corrupted = buf;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(corrupted), clean) << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(Crc32Test, DetectsTruncation) {
+  Rng rng(34);
+  Bytes buf(512);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  const std::uint32_t clean = crc32(buf);
+  for (std::size_t keep : {0u, 1u, 256u, 511u}) {
+    EXPECT_NE(crc32(buf.data(), keep), clean) << "keep=" << keep;
+  }
+}
+
 TEST(StatsTest, RunningStatsMoments) {
   RunningStats s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

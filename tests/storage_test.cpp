@@ -45,6 +45,33 @@ TEST(CheckpointTest, SerializationRoundTrip) {
   EXPECT_EQ(back.unacked[0].transport_seq, 9u);
 }
 
+// encoded_size() backs StableStore::write_latency_for, so a drift between it
+// and serialize() silently changes simulated commit timing. Checkpoint.cpp
+// promises this test keeps the two in lock-step.
+TEST(CheckpointTest, EncodedSizeMatchesSerializedSize) {
+  CheckpointRecord empty;
+  ByteWriter we;
+  empty.serialize(we);
+  EXPECT_EQ(we.data().size(), empty.encoded_size());
+
+  CheckpointRecord rec = sample_record();
+  rec.unacked[0].aux = Bytes{9, 8, 7, 6, 5};
+  Message extra;
+  extra.sender = kP1Act;
+  extra.receiver = kP2;
+  extra.transport_seq = 17;
+  rec.unacked.push_back(extra);
+  ByteWriter w;
+  rec.serialize(w);
+  EXPECT_EQ(w.data().size(), rec.encoded_size());
+
+  // Serializing into a dirty reused writer appends exactly encoded_size().
+  w.u32(0xDEADBEEF);
+  const std::size_t before = w.data().size();
+  rec.serialize(w);
+  EXPECT_EQ(w.data().size() - before, rec.encoded_size());
+}
+
 TEST(VolatileStoreTest, KeepsOnlyLatest) {
   VolatileStore store;
   EXPECT_FALSE(store.latest().has_value());

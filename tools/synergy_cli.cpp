@@ -410,6 +410,21 @@ int cmd_chaos(int argc, char** argv) {
                 result.wall_seconds * 1e9 /
                     static_cast<double>(std::max<std::size_t>(1, config.reps)),
                 result.missions_per_sec});
+    // Checkpoint-volume counters across all missions: trend data for the
+    // allocation-lean pipeline (how much encoding the caches spared).
+    std::uint64_t records = 0, encoded = 0, hits = 0, misses = 0, stable = 0;
+    for (const MissionReport& r : result.missions) {
+      records += r.ckpt_records;
+      encoded += r.ckpt_bytes_encoded;
+      hits += r.ckpt_cache_hits;
+      misses += r.ckpt_cache_misses;
+      stable += r.stable_bytes_written;
+    }
+    writer.set_counter("ckpt_records_established", records);
+    writer.set_counter("ckpt_bytes_encoded", encoded);
+    writer.set_counter("ckpt_cache_hits", hits);
+    writer.set_counter("ckpt_cache_misses", misses);
+    writer.set_counter("stable_bytes_written", stable);
     if (!writer.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
