@@ -15,6 +15,7 @@
 #include "app/state.hpp"
 #include "bench_common.hpp"
 #include "core/campaign.hpp"
+#include "redundant/lanes.hpp"
 #include "sim/simulator.hpp"
 
 namespace synergy::bench {
@@ -105,6 +106,19 @@ int run(int argc, char** argv) {
     std::uint64_t i = 0;
     record("app_state_step", scaled(effort, 100'000, 1'000'000, 5'000'000),
            [&] { app.local_step(++i); });
+  }
+  {
+    // The redundant-family inner loop: one local step fanned out over four
+    // lanes plus a majority vote (the voter is allocation-free up to
+    // kMaxLanes; the schemes themselves run 2-3 lanes).
+    ApplicationState app(1);
+    LaneSet lanes(app, 4, nullptr, ProcessId{0}, {});
+    std::uint64_t i = 0;
+    record("tmr_vote_4lane_step",
+           scaled(effort, 50'000, 200'000, 1'000'000), [&] {
+             lanes.local_step(++i);
+             lanes.vote();
+           });
   }
   {
     ApplicationState app(1);

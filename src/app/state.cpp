@@ -48,6 +48,12 @@ void ApplicationState::corrupt(std::uint64_t noise) {
   ++version_;
 }
 
+void ApplicationState::flip_bit(std::uint64_t noise) {
+  regs_[(noise >> 6) % regs_.size()] ^= 1ULL << (noise & 63);
+  tainted_ = true;
+  ++version_;
+}
+
 Bytes ApplicationState::snapshot() const {
   ByteWriter w;
   w.reserve(kEncodedSize);

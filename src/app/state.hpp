@@ -41,6 +41,19 @@ class ApplicationState {
   /// Inject a design-fault manifestation: corrupts a register and taints.
   void corrupt(std::uint64_t noise);
 
+  /// Inject a hardware-fault manifestation (COAST's register/memory model):
+  /// flip exactly one bit of one register. Taints — ground truth says this
+  /// state is now erroneous, whether or not any protocol notices.
+  void flip_bit(std::uint64_t noise);
+
+  /// Allocation-free deep equality on protocol-visible content (registers,
+  /// step count, taint). Ignores version/cache bookkeeping — two lanes that
+  /// replayed the same history compare equal even if one was restored.
+  bool equals(const ApplicationState& other) const {
+    return regs_ == other.regs_ && steps_ == other.steps_ &&
+           tainted_ == other.tainted_;
+  }
+
   bool tainted() const { return tainted_; }
   std::uint64_t steps() const { return steps_; }
 

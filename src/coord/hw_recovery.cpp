@@ -70,6 +70,57 @@ std::optional<StableSeq> common_restorable_line(
   return std::nullopt;
 }
 
+std::vector<std::optional<StableSeq>> consistent_write_through_cut(
+    const std::vector<ProcessNode*>& nodes) {
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<StableSeq>> ndcs(n);        // newest first
+  std::vector<std::vector<CheckpointRecord>> recs(n);  // parallel to ndcs
+  std::vector<std::size_t> idx(n, 0);
+  std::size_t steps = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    ProcessNode* node = nodes[i];
+    if (node->retired() || !node->has_stable_storage()) continue;
+    const auto retained = node->sstore().retained_ndcs();
+    for (auto it = retained.rbegin(); it != retained.rend(); ++it) {
+      if (auto rec = node->sstore().committed_for(*it)) {
+        ndcs[i].push_back(*it);
+        recs[i].push_back(std::move(*rec));
+      }
+    }
+    if (ndcs[i].empty()) return {};  // nothing decodable: degraded fallback
+    steps += recs[i].size();
+  }
+
+  while (steps-- > 0) {
+    std::vector<CheckpointRecord> cut;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!recs[i].empty()) cut.push_back(recs[i][idx[i]]);
+    }
+    if (cut.empty()) return {};
+    if (check_all(global_state_from_records(cut)).empty()) {
+      std::vector<std::optional<StableSeq>> out(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!ndcs[i].empty()) out[i] = ndcs[i][idx[i]];
+      }
+      return out;
+    }
+    // Orphan receipts only exist while some node's cut runs ahead of a
+    // peer's: rolling the newest-state node back one record is the only
+    // monotone repair.
+    std::size_t victim = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (recs[i].empty() || idx[i] + 1 >= recs[i].size()) continue;
+      if (victim == n ||
+          recs[i][idx[i]].state_time > recs[victim][idx[victim]].state_time) {
+        victim = i;
+      }
+    }
+    if (victim == n) return {};  // descent exhausted: degraded fallback
+    ++idx[victim];
+  }
+  return {};
+}
+
 HardwareRecoveryManager::HardwareRecoveryManager(
     Simulator& sim, std::vector<ProcessNode*> nodes, Duration repair_latency,
     TraceLog* trace, bool oracle_filter)
@@ -135,6 +186,7 @@ HwRecoveryStats HardwareRecoveryManager::recover_all(TimePoint fault_time,
     if (n->retired()) continue;
     if (n->tb() == nullptr) timered = false;
   }
+  std::vector<std::optional<StableSeq>> wt_cut;
   if (timered) {
     // Storage faults can leave the record at the naive line (min of latest
     // indices) undecodable on some node, and injector-era lines can fail
@@ -151,13 +203,19 @@ HwRecoveryStats HardwareRecoveryManager::recover_all(TimePoint fault_time,
       }
       line_ndc = min_ndc;
     }
+  } else if (oracle_filter_) {
+    // Hardened index-less recovery: per-node newest records rolled back
+    // into a cut the oracles accept (write-latency skew / torn newest
+    // records otherwise restore orphan receipts).
+    wt_cut = consistent_write_through_cut(nodes_);
   }
 
   // Phase 1: every non-retired process rolls back to the line.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     ProcessNode* n = nodes_[i];
     if (n->retired()) continue;
-    const CheckpointRecord rec = n->restore_from_stable(epoch, line_ndc);
+    const CheckpointRecord rec = n->restore_from_stable(
+        epoch, i < wt_cut.size() && wt_cut[i] ? wt_cut[i] : line_ndc);
     // Rollback distance counts undone *computation*: work done between the
     // restored state and the fault. Repair downtime is not part of it.
     stats.rollback_distance[i] = fault_time - rec.state_time;

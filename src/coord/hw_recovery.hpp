@@ -51,6 +51,22 @@ std::optional<StableSeq> common_valid_line(
 std::optional<StableSeq> common_restorable_line(
     const std::vector<ProcessNode*>& nodes);
 
+/// Per-node record selection for the index-less (write-through) schemes.
+/// Write-through commits are per-node validation events, so a fault inside
+/// one node's write-latency window (or a torn newest record) leaves the
+/// nodes' newest intact records straddling in-flight traffic: the receiver
+/// remembers messages the rolled-back sender never sent. Starting from
+/// every node's newest decodable record, the node whose current record has
+/// the newest state time is rolled back one record at a time until the
+/// paper's oracles accept the cut (the classic rollback-propagation
+/// descent; it terminates because every step strictly shrinks the cut).
+/// Returns the chosen index per node, aligned with `nodes` (nullopt for
+/// retired / storage-less entries); empty when no retained combination is
+/// clean — callers then fall back to per-node latest_committed() exactly
+/// as before.
+std::vector<std::optional<StableSeq>> consistent_write_through_cut(
+    const std::vector<ProcessNode*>& nodes);
+
 class HardwareRecoveryManager {
  public:
   /// `repair_latency`: downtime between the fault and the coordinated

@@ -90,6 +90,24 @@ void AssumptionMonitor::on_overrun(ProcessId p, Duration actual,
 void AssumptionMonitor::sweep() {
   bool need_reline = false;
   if (quiescent()) {
+    // CFCSS sweep: catch a broken signature chain *between* vote
+    // boundaries, so a control-flow fault on an idle lane does not wait
+    // for the next send/capture to be noticed. LaneSet repairs in place
+    // (park the replica / restore the primary from a healthy donor) and
+    // raises the confidence-loss event into the MDCD engine itself.
+    for (ProcessNode* n : nodes_) {
+      if (n->retired() || n->crashed()) continue;
+      if (LaneSet* lanes = n->lanes()) {
+        const std::size_t found = lanes->scan_signatures();
+        if (found == 0) continue;
+        stats_.signature_mismatches += found;
+        stats_.lane_repairs += found;
+        if (trace_) {
+          trace_->record(sim_.now(), n->id(), TraceKind::kDegradation,
+                         "lane_repair", found);
+        }
+      }
+    }
     // Undelivered-message watchdog: a message still unacked a full sweep
     // after it was first seen has been dropped (or its ack has) — in-spec
     // delivery plus validation-gated acknowledgment settles far faster.

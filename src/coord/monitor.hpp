@@ -65,20 +65,23 @@ struct MonitorStats {
   std::uint64_t corrupt_records = 0;
   std::uint64_t undelivered_messages = 0;
   std::uint64_t line_inconsistencies = 0;
+  std::uint64_t signature_mismatches = 0;  ///< CFCSS breaks found by sweeps.
   // Degradations applied.
   std::uint64_t tau_widenings = 0;
   std::uint64_t forced_resyncs = 0;
   std::uint64_t forced_write_throughs = 0;
   std::uint64_t forced_resends = 0;
   std::uint64_t relines = 0;
+  std::uint64_t lane_repairs = 0;  ///< Lanes parked/restored by sweep scans.
 
   std::uint64_t violations() const {
     return bound_violations + blocking_overruns + write_timeouts +
-           corrupt_records + undelivered_messages + line_inconsistencies;
+           corrupt_records + undelivered_messages + line_inconsistencies +
+           signature_mismatches;
   }
   std::uint64_t degradations() const {
     return tau_widenings + forced_resyncs + forced_write_throughs +
-           forced_resends + relines;
+           forced_resends + relines + lane_repairs;
   }
 };
 

@@ -18,17 +18,18 @@ ProcessId id_for(Role role) {
 
 MdcdConfig mdcd_config_for(const NodeConfig& config) {
   MdcdConfig c = config.mdcd;
-  // The scheme decides the MDCD variant: only the coordinated scheme runs
-  // the modified algorithms.
-  c.variant = config.scheme == Scheme::kCoordinated ? MdcdVariant::kModified
-                                                    : MdcdVariant::kOriginal;
+  // The scheme decides the MDCD variant: only the TB-coordinated schemes
+  // run the modified algorithms.
+  c.variant = scheme_uses_modified_mdcd(config.scheme)
+                  ? MdcdVariant::kModified
+                  : MdcdVariant::kOriginal;
   return c;
 }
 
 TbParams tb_params_for(const NodeConfig& config) {
   TbParams p = config.tb;
-  p.variant = config.scheme == Scheme::kCoordinated ? TbVariant::kAdapted
-                                                    : TbVariant::kOriginal;
+  p.variant = scheme_uses_modified_mdcd(config.scheme) ? TbVariant::kAdapted
+                                                       : TbVariant::kOriginal;
   return p;
 }
 
@@ -37,11 +38,17 @@ TbParams tb_params_for(const NodeConfig& config) {
 ProcessNode::ProcessNode(Role role, Simulator& sim, Network& net,
                          ClockEnsemble& ensemble, const NodeConfig& config,
                          std::uint64_t app_seed, Rng rng, TraceLog* trace,
-                         std::function<void(ProcessId)> request_sw_recovery)
+                         std::function<void(ProcessId)> request_sw_recovery,
+                         std::function<void(ProcessId)> request_lane_rollback)
     : role_(role), id_(id_for(role)), sim_(sim), net_(net), trace_(trace),
       app_(app_seed) {
   if (config.scheme != Scheme::kMdcdOnly) {
     sstore_ = std::make_unique<StableStore>(sim, config.sstore);
+  }
+  if (const std::size_t n_lanes = scheme_lane_count(config.scheme);
+      n_lanes > 1) {
+    lanes_ = std::make_unique<LaneSet>(
+        app_, n_lanes, trace, id_, [&sim] { return sim.now(); });
   }
   at_ = std::make_unique<AcceptanceTest>(config.at, rng.split());
   if (role == Role::kP1Act) {
@@ -63,6 +70,8 @@ ProcessNode::ProcessNode(Role role, Simulator& sim, Network& net,
   services.sw_fault = sw_fault_.get();
   services.trace = trace;
   services.request_sw_recovery = std::move(request_sw_recovery);
+  services.lanes = lanes_.get();
+  services.request_lane_rollback = request_lane_rollback;
 
   const MdcdConfig mdcd = mdcd_config_for(config);
   switch (role) {
@@ -86,8 +95,19 @@ ProcessNode::ProcessNode(Role role, Simulator& sim, Network& net,
     }
   }
 
-  if (config.scheme == Scheme::kNaive ||
-      config.scheme == Scheme::kCoordinated) {
+  if (lanes_) {
+    // Voter/CFCSS events feed the coordination layer: signature mismatches
+    // become MDCD confidence-loss events; unmaskable divergences roll back
+    // to the recovery line.
+    lanes_->set_confidence_loss_handler(
+        [this] { engine_->on_confidence_loss(); });
+    if (request_lane_rollback) {
+      lanes_->set_rollback_handler(
+          [this, cb = std::move(request_lane_rollback)] { cb(id_); });
+    }
+  }
+
+  if (scheme_has_tb(config.scheme)) {
     tb_ = std::make_unique<TbEngine>(
         tb_params_for(config), *engine_, *sstore_, ensemble.timers(id_),
         [&ensemble] { return ensemble.elapsed_since_resync(); }, trace);

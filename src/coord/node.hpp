@@ -20,6 +20,7 @@
 #include "mdcd/p1sdw.hpp"
 #include "mdcd/p2.hpp"
 #include "net/reliable.hpp"
+#include "redundant/lanes.hpp"
 #include "sim/simulator.hpp"
 #include "storage/stable_store.hpp"
 #include "storage/volatile_store.hpp"
@@ -44,10 +45,13 @@ class ProcessNode {
   /// Builds the node for `role` under `config.scheme`. `ensemble` supplies
   /// the node's local clock/timers; `request_sw_recovery` is the system
   /// hook invoked on AT failure.
+  /// `request_lane_rollback` is invoked when the redundant-lane voter
+  /// detects an unmaskable divergence (lane schemes only; may be empty).
   ProcessNode(Role role, Simulator& sim, Network& net, ClockEnsemble& ensemble,
               const NodeConfig& config, std::uint64_t app_seed, Rng rng,
               TraceLog* trace,
-              std::function<void(ProcessId)> request_sw_recovery);
+              std::function<void(ProcessId)> request_sw_recovery,
+              std::function<void(ProcessId)> request_lane_rollback = {});
 
   ProcessNode(const ProcessNode&) = delete;
   ProcessNode& operator=(const ProcessNode&) = delete;
@@ -63,6 +67,8 @@ class ProcessNode {
   P2Engine* p2() { return p2_; }
 
   ApplicationState& app() { return app_; }
+  /// Redundant-execution lanes (null for single-lane schemes).
+  LaneSet* lanes() { return lanes_.get(); }
   VolatileStore& vstore() { return vstore_; }
   StableStore& sstore() { return *sstore_; }
   bool has_stable_storage() const { return sstore_ != nullptr; }
@@ -106,6 +112,7 @@ class ProcessNode {
   TraceLog* trace_;
 
   ApplicationState app_;
+  std::unique_ptr<LaneSet> lanes_;
   VolatileStore vstore_;
   std::unique_ptr<StableStore> sstore_;
   std::unique_ptr<AcceptanceTest> at_;

@@ -1,5 +1,10 @@
-// The fault-tolerance schemes the library can run (paper §3–§4).
+// The fault-tolerance schemes the library can run (paper §3–§4, plus the
+// redundant-execution protection family layered on top of MDCD).
 #pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
 
 namespace synergy {
 
@@ -22,16 +27,94 @@ enum class Scheme {
   /// The paper's contribution (§3–§4.2): modified MDCD + adapted TB,
   /// synergistically coordinated. Figure 7's E[Dco].
   kCoordinated,
+
+  /// MDCD + duplication-with-compare: every process runs two replicated
+  /// application lanes whose outputs are compared at each send boundary.
+  /// A divergence aborts the suspect send and triggers a recovery-line
+  /// rollback (stable storage is populated write-through style, so there
+  /// is always a line to roll to). Catches hardware state corruption the
+  /// acceptance tests were never designed for.
+  kMdcdDwc,
+
+  /// MDCD + triple modular redundancy: three lanes and a majority voter.
+  /// Single-lane corruption is *masked* (outvoted and repaired in place);
+  /// losing a lane degrades to DWC-style compare-and-rollback until the
+  /// parked lane is re-synced from the surviving majority at the next
+  /// validation event.
+  kMdcdTmr,
+
+  /// The full three-family stack: modified MDCD + adapted TB (as in
+  /// kCoordinated) with TMR lanes underneath — the arbiter coordinating
+  /// software, checkpointing, and redundant-execution protection at once.
+  kMdcdTbTmr,
 };
 
-inline const char* to_string(Scheme s) {
+/// All schemes, in declaration order (sweep matrices, parsers).
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::kMdcdOnly,  Scheme::kWriteThrough, Scheme::kNaive,
+    Scheme::kCoordinated, Scheme::kMdcdDwc,    Scheme::kMdcdTmr,
+    Scheme::kMdcdTbTmr,
+};
+
+constexpr const char* to_string(Scheme s) {
+  // Exhaustive: a new enumerator without a name is a compile error under
+  // -Werror=switch, and the trailing path is unreachable by construction.
   switch (s) {
     case Scheme::kMdcdOnly: return "mdcd_only";
     case Scheme::kWriteThrough: return "write_through";
     case Scheme::kNaive: return "naive";
     case Scheme::kCoordinated: return "coordinated";
+    case Scheme::kMdcdDwc: return "mdcd+dwc";
+    case Scheme::kMdcdTmr: return "mdcd+tmr";
+    case Scheme::kMdcdTbTmr: return "mdcd+tb+tmr";
   }
-  return "?";
+  return "";  // unreachable: all enumerators handled above
+}
+
+/// Parse a scheme name as printed by to_string (plus the "mdcd+tb" alias
+/// for the coordinated scheme, completing the combination grammar).
+/// Returns nullopt for unknown names — CLI and JSON readers must reject
+/// stale spellings loudly instead of defaulting.
+inline std::optional<Scheme> scheme_from_string(std::string_view name) {
+  for (Scheme s : kAllSchemes) {
+    if (name == to_string(s)) return s;
+  }
+  if (name == "mdcd+tb") return Scheme::kCoordinated;
+  return std::nullopt;
+}
+
+/// Number of replicated application-state lanes each process runs.
+constexpr std::size_t scheme_lane_count(Scheme s) {
+  switch (s) {
+    case Scheme::kMdcdDwc: return 2;
+    case Scheme::kMdcdTmr:
+    case Scheme::kMdcdTbTmr: return 3;
+    case Scheme::kMdcdOnly:
+    case Scheme::kWriteThrough:
+    case Scheme::kNaive:
+    case Scheme::kCoordinated: return 1;
+  }
+  return 1;
+}
+
+/// Does the scheme run time-based checkpoint timers (blocking periods)?
+constexpr bool scheme_has_tb(Scheme s) {
+  return s == Scheme::kNaive || s == Scheme::kCoordinated ||
+         s == Scheme::kMdcdTbTmr;
+}
+
+/// Does the scheme run the modified MDCD variant (pseudo checkpoints, Ndc
+/// gate, passed-AT during blocking)? Exactly the TB-coordinated schemes.
+constexpr bool scheme_uses_modified_mdcd(Scheme s) {
+  return s == Scheme::kCoordinated || s == Scheme::kMdcdTbTmr;
+}
+
+/// Does the scheme commit stable checkpoints on validation events instead
+/// of timers? (The write-through baseline, and the timer-less lane schemes
+/// which need *some* stable line for divergence rollbacks to land on.)
+constexpr bool scheme_writes_through(Scheme s) {
+  return s == Scheme::kWriteThrough || s == Scheme::kMdcdDwc ||
+         s == Scheme::kMdcdTmr;
 }
 
 }  // namespace synergy

@@ -17,10 +17,26 @@ void WriteThroughCoordinator::install() {
 }
 
 void WriteThroughCoordinator::on_validation(ProcessNode& node) {
+  // An unmaskable lane divergence means the primary state is suspect and
+  // cannot be repaired from a majority: committing it would make the
+  // corruption the recovery point the voter's own rollback then restores.
+  // Skip the write; the next send boundary votes again and rolls back to
+  // the previous (intact) record.
+  if (LaneSet* lanes = node.lanes()) {
+    const VoteOutcome v = lanes->vote();
+    if (v == VoteOutcome::kDiverged || v == VoteOutcome::kSplit) return;
+  }
   // The validated state is clean by construction (the validation event just
   // cleared the dirty bit); write it through as the process's recovery
   // point. A still-running earlier write is superseded.
   CheckpointRecord rec = node.engine().make_record(CkptKind::kStable);
+  // Write-through has no TB index space, so the engine stamps every record
+  // ndc=0 — which would make each commit replace the previous one in the
+  // store's single slot, and one torn write could then leave the node with
+  // no decodable record at all (recovery asserts). Advance the index per
+  // commit instead: recovery reads latest_committed(), which walks the
+  // retained history newest-first and falls back past damaged records.
+  rec.ndc = node.sstore().latest_ndc() + 1;
   ++writes_;
   if (trace_) {
     trace_->record(node.engine().current_time(), node.id(),

@@ -95,6 +95,12 @@ MissionReport run_mission(const CampaignConfig& config,
           system.clocks().suppress_resyncs(false);
         });
         break;
+      case FaultEvent::Kind::kLaneFlip:
+      case FaultEvent::Kind::kSigFault:
+        system.schedule_lane_fault(
+            ev.at, ProcessId{ev.target % kNumCanonicalProcesses}, ev.lane,
+            ev.kind == FaultEvent::Kind::kSigFault, ev.noise);
+        break;
     }
   }
 
@@ -158,6 +164,15 @@ MissionReport run_mission(const CampaignConfig& config,
   report.drift_excursions = system.clocks().drift_excursions();
   report.missed_resyncs = system.clocks().missed_resyncs();
   report.sw_recoveries = system.sw_recovery().has_value() ? 1 : 0;
+  const LaneStats lanes = system.lane_stats();
+  report.lane_injected = lanes.injected + system.unprotected_flips();
+  report.lane_masked = lanes.masked;
+  report.lane_detected = lanes.detected;
+  report.lane_silent = lanes.silent;
+  report.lane_unprotected = system.unprotected_flips();
+  report.lane_rollbacks = system.lane_rollbacks();
+  report.lane_resyncs = lanes.resyncs;
+  report.sig_mismatches = lanes.sig_mismatches;
   if (AssumptionMonitor* m = system.monitor()) report.monitor = m->stats();
 
   if (!config.trace_csv.empty()) {
@@ -189,6 +204,13 @@ bool operator==(const MissionReport& a, const MissionReport& b) {
          a.ckpt_cache_hits == b.ckpt_cache_hits &&
          a.ckpt_cache_misses == b.ckpt_cache_misses &&
          a.stable_bytes_written == b.stable_bytes_written &&
+         a.lane_injected == b.lane_injected && a.lane_masked == b.lane_masked &&
+         a.lane_detected == b.lane_detected &&
+         a.lane_silent == b.lane_silent &&
+         a.lane_unprotected == b.lane_unprotected &&
+         a.lane_rollbacks == b.lane_rollbacks &&
+         a.lane_resyncs == b.lane_resyncs &&
+         a.sig_mismatches == b.sig_mismatches &&
          a.schedule_json == b.schedule_json &&
          ma.bound_violations == mb.bound_violations &&
          ma.blocking_overruns == mb.blocking_overruns &&
@@ -196,6 +218,8 @@ bool operator==(const MissionReport& a, const MissionReport& b) {
          ma.corrupt_records == mb.corrupt_records &&
          ma.undelivered_messages == mb.undelivered_messages &&
          ma.line_inconsistencies == mb.line_inconsistencies &&
+         ma.signature_mismatches == mb.signature_mismatches &&
+         ma.lane_repairs == mb.lane_repairs &&
          ma.tau_widenings == mb.tau_widenings &&
          ma.forced_resyncs == mb.forced_resyncs &&
          ma.forced_write_throughs == mb.forced_write_throughs &&
@@ -217,7 +241,17 @@ std::string format_mission_report(const CampaignConfig& config,
         << " drift=" << report.drift_excursions
         << " missed_resync=" << report.missed_resyncs
         << " detect=" << report.monitor.violations()
-        << " degrade=" << report.monitor.degradations() << "\n";
+        << " degrade=" << report.monitor.degradations();
+    // Lane adjudication only exists on redundant schemes; single-lane
+    // campaign output stays byte-identical to the pre-lane format.
+    if (scheme_lane_count(config.scheme) > 1) {
+      out << " lane_inj=" << report.lane_injected
+          << " masked=" << report.lane_masked
+          << " detected=" << report.lane_detected
+          << " silent=" << report.lane_silent
+          << " lane_rb=" << report.lane_rollbacks;
+    }
+    out << "\n";
   }
   if (!report.ok) {
     for (const auto& f : report.failures) out << "  " << f << "\n";

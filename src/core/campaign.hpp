@@ -83,6 +83,22 @@ struct MissionReport {
   std::uint64_t ckpt_cache_misses = 0;
   std::uint64_t stable_bytes_written = 0;
 
+  // Redundant-lane fault adjudication (COAST injection model). At mission
+  // end every injected lane fault is exactly one of masked (voted out),
+  // detected (divergence / signature mismatch) or silent (wiped by a
+  // rollback/resync before any vote saw it, or still pending).
+  // `lane_unprotected` counts flips that landed on a single-lane scheme's
+  // live state — the no-redundancy baseline where detection is up to AT
+  // coverage.
+  std::uint64_t lane_injected = 0;
+  std::uint64_t lane_masked = 0;
+  std::uint64_t lane_detected = 0;
+  std::uint64_t lane_silent = 0;
+  std::uint64_t lane_unprotected = 0;
+  std::uint64_t lane_rollbacks = 0;  ///< voter-triggered recovery-line rollbacks
+  std::uint64_t lane_resyncs = 0;    ///< lane repairs from surviving majority
+  std::uint64_t sig_mismatches = 0;  ///< CFCSS signature-chain detections
+
   MonitorStats monitor;
 
   /// Populated when the mission failed: the full replayable adversary.

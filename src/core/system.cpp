@@ -44,6 +44,11 @@ System::System(const SystemConfig& config) : config_(config) {
 
   TraceLog* trace = config.enable_trace ? &trace_ : nullptr;
   auto recovery_cb = [this](ProcessId detector) { on_at_failure(detector); };
+  auto lane_rollback_cb =
+      scheme_lane_count(config.scheme) > 1
+          ? std::function<void(ProcessId)>(
+                [this](ProcessId detector) { on_lane_rollback(detector); })
+          : std::function<void(ProcessId)>{};
 
   // P1act and P1sdw share the application seed: the shadow performs the
   // same computation on the same inputs.
@@ -54,7 +59,7 @@ System::System(const SystemConfig& config) : config_(config) {
     const std::uint64_t app_seed = role == Role::kP2 ? p2_seed : c1_seed;
     nodes_.push_back(std::make_unique<ProcessNode>(
         role, sim_, *net_, *clocks_, nc, app_seed, rng_->split(), trace,
-        recovery_cb));
+        recovery_cb, lane_rollback_cb));
   }
 
   // TB engines request clock resynchronization through the ensemble.
@@ -69,7 +74,10 @@ System::System(const SystemConfig& config) : config_(config) {
     }
   }
 
-  if (config.scheme == Scheme::kWriteThrough) {
+  // Timer-less schemes with stable storage (the write-through baseline and
+  // the lane schemes) commit on validation events: divergence rollbacks
+  // need a populated recovery line.
+  if (scheme_writes_through(config.scheme)) {
     write_through_ = std::make_unique<WriteThroughCoordinator>(
         std::vector<ProcessNode*>{nodes_[0].get(), nodes_[1].get(),
                                   nodes_[2].get()},
@@ -152,11 +160,97 @@ void System::schedule_sw_error(TimePoint at) {
   sim_.schedule_at(at, [this] {
     ProcessNode& n = *nodes_[0];
     if (!n.engine().alive()) return;
-    n.app().corrupt(rng_->next());
+    // A design fault computes the same wrong value on every redundant
+    // lane — route it through the fan-out so the voter stays blind to it
+    // (catching it is the acceptance test's job, not the voter's).
+    if (LaneSet* lanes = n.lanes()) {
+      lanes->corrupt(rng_->next());
+    } else {
+      n.app().corrupt(rng_->next());
+    }
     // Drive an external send so the acceptance test runs on the erroneous
     // output (deterministic software-error scenario).
     n.engine().on_app_send(/*external=*/true, rng_->next());
   });
+}
+
+void System::schedule_lane_fault(TimePoint at, ProcessId target,
+                                 std::uint32_t lane, bool sig_fault,
+                                 std::uint64_t noise) {
+  sim_.schedule_at(at, [this, target, lane, sig_fault, noise] {
+    inject_lane_fault(target, lane, sig_fault, noise);
+  });
+}
+
+void System::inject_lane_fault(ProcessId target, std::uint32_t lane,
+                               bool sig_fault, std::uint64_t noise) {
+  ProcessNode& n = node(target);
+  if (n.retired() || n.crashed()) return;
+  if (LaneSet* lanes = n.lanes()) {
+    const std::size_t idx = lane % lanes->lane_count();
+    if (sig_fault) {
+      lanes->inject_signature_fault(idx, noise);
+    } else {
+      lanes->inject_state_flip(idx, noise);
+    }
+    return;
+  }
+  if (sig_fault) return;  // no signature chains without lanes: nothing to hit
+  // Unprotected scheme: the flip lands straight on the live state. Whether
+  // anything ever notices is up to AT coverage — detection by luck, the
+  // baseline the lane schemes are measured against.
+  n.app().flip_bit(noise);
+  ++unprotected_flips_;
+  if (config_.enable_trace) {
+    trace_.record(sim_.now(), target, TraceKind::kLaneFlip, "unprotected");
+  }
+}
+
+void System::on_lane_rollback(ProcessId detector) {
+  // Divergence detection fires from deep inside an engine event (mid-send).
+  // Schedule the rollback as its own simulator event so the current
+  // dispatch unwinds first; duplicate detections in the window collapse
+  // into one recovery.
+  if (config_.scheme == Scheme::kMdcdOnly) return;  // no stable line
+  if (lane_rollback_pending_) return;
+  lane_rollback_pending_ = true;
+  sim_.schedule_at(sim_.now(), [this, detector] {
+    lane_rollback_pending_ = false;
+    if (hw_manager_->recovery_pending()) return;
+    ProcessNode& n = node(detector);
+    if (n.retired() || n.crashed()) return;
+    ++lane_rollbacks_;
+    if (config_.enable_trace) {
+      trace_.record(sim_.now(), detector, TraceKind::kRollback,
+                    "lane_divergence");
+    }
+    // The suspect node's volatile state is unusable (which lane was right
+    // is unknowable without a majority): treat it exactly like a hardware
+    // fault and restart everyone from the oracle-filtered recovery line.
+    hw_manager_->inject_fault(NodeId{detector.value()}, next_epoch(),
+                              [this](const HwRecoveryStats& stats) {
+                                hw_recoveries_.push_back(stats);
+                              });
+  });
+}
+
+LaneStats System::lane_stats() const {
+  LaneStats total;
+  for (const auto& node : nodes_) {
+    LaneSet* lanes = const_cast<ProcessNode&>(*node).lanes();
+    if (!lanes) continue;
+    const LaneStats s = lanes->stats();
+    total.injected += s.injected;
+    total.masked += s.masked;
+    total.detected += s.detected;
+    total.silent += s.silent;
+    total.votes += s.votes;
+    total.masked_votes += s.masked_votes;
+    total.divergences += s.divergences;
+    total.sig_mismatches += s.sig_mismatches;
+    total.resyncs += s.resyncs;
+  }
+  return total;
 }
 
 void System::on_at_failure(ProcessId detector) {
@@ -228,8 +322,16 @@ GlobalState System::stable_line_state() const {
       if (rec) records.push_back(std::move(*rec));
     }
   } else {
-    for (ProcessNode* n : participants) {
-      auto rec = n->sstore().latest_committed();
+    // Index-less schemes: mirror hardened recovery's per-node selection
+    // (consistent_write_through_cut), falling back to per-node newest.
+    std::vector<std::optional<StableSeq>> cut;
+    if (!timered && config_.harden_recovery) {
+      cut = consistent_write_through_cut(participants);
+    }
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      ProcessNode* n = participants[i];
+      auto rec = i < cut.size() && cut[i] ? n->sstore().committed_for(*cut[i])
+                                          : n->sstore().latest_committed();
       if (rec) records.push_back(std::move(*rec));
     }
   }

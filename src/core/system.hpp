@@ -131,6 +131,17 @@ class System {
   /// configured coverage).
   void schedule_sw_error(TimePoint at);
 
+  /// Flip one state bit (or corrupt the CFCSS signature, `sig_fault`) of
+  /// one execution lane of `target` at time `at` (COAST register/memory
+  /// injection model). On single-lane schemes a state flip lands straight
+  /// on the live application state — detection is up to AT coverage
+  /// ("luck") — and a signature fault is a no-op (nothing to corrupt).
+  void schedule_lane_fault(TimePoint at, ProcessId target, std::uint32_t lane,
+                           bool sig_fault, std::uint64_t noise);
+  /// Immediate-injection form of schedule_lane_fault (tests).
+  void inject_lane_fault(ProcessId target, std::uint32_t lane, bool sig_fault,
+                         std::uint64_t noise);
+
   // ---- Results ---------------------------------------------------------------
   const std::vector<HwRecoveryStats>& hw_recoveries() const {
     return hw_recoveries_;
@@ -140,6 +151,14 @@ class System {
   }
   std::uint64_t at_failures_observed() const { return at_failures_; }
 
+  /// Recovery-line rollbacks triggered by the lane voter (unmaskable
+  /// divergences), and bit-flips that landed on an unprotected
+  /// (single-lane) scheme's live state.
+  std::uint64_t lane_rollbacks() const { return lane_rollbacks_; }
+  std::uint64_t unprotected_flips() const { return unprotected_flips_; }
+  /// Masked/detected/silent adjudication summed over every node's lanes.
+  LaneStats lane_stats() const;
+
   /// Global state a hardware recovery would restore right now (decoded
   /// from the latest committed stable checkpoints of non-retired nodes).
   GlobalState stable_line_state() const;
@@ -147,7 +166,7 @@ class System {
   /// Global state of the live engines (post-recovery audits).
   GlobalState live_state() const;
 
-  /// The write-through coordinator (null unless scheme == kWriteThrough).
+  /// The write-through coordinator (null unless scheme_writes_through).
   WriteThroughCoordinator* write_through() { return write_through_.get(); }
   HardwareRecoveryManager& hw_manager() { return *hw_manager_; }
 
@@ -158,6 +177,7 @@ class System {
 
  private:
   void on_at_failure(ProcessId detector);
+  void on_lane_rollback(ProcessId detector);
   std::uint32_t next_epoch() { return ++epoch_counter_; }
 
   SystemConfig config_;
@@ -178,6 +198,9 @@ class System {
   bool started_ = false;
   std::uint32_t epoch_counter_ = 0;
   std::uint64_t at_failures_ = 0;
+  std::uint64_t lane_rollbacks_ = 0;
+  std::uint64_t unprotected_flips_ = 0;
+  bool lane_rollback_pending_ = false;
   std::vector<HwRecoveryStats> hw_recoveries_;
   std::optional<SwRecoveryStats> sw_recovery_;
   std::unique_ptr<Rng> rng_;

@@ -61,6 +61,12 @@ class GeneralEngine final : public CheckpointableProcess {
   void on_app_send(bool external, std::uint64_t input);
   void on_local_step(std::uint64_t input);
   void on_message(const Message& m);
+  /// Redundant-lane signature monitor reported a control-flow fault:
+  /// confidence in the current state is lost. Anchors (if clean) and sets
+  /// the dirty bit, exactly like absorbing contaminated traffic; the next
+  /// covering validation clears it. Deferred (never dropped) while
+  /// blocking — only passed_AT is processed during a blocking period.
+  void on_confidence_loss();
 
   // ---- CheckpointableProcess ----------------------------------------------
   ProcessId self() const override { return services_.self; }
@@ -123,7 +129,8 @@ class GeneralEngine final : public CheckpointableProcess {
   struct StepReq {
     std::uint64_t input;
   };
-  using Deferred = std::variant<SendReq, StepReq, Message>;
+  struct ConfLossReq {};
+  using Deferred = std::variant<SendReq, StepReq, Message, ConfLossReq>;
   struct AckKey {
     ProcessId sender;
     std::uint64_t transport_seq;
@@ -131,6 +138,7 @@ class GeneralEngine final : public CheckpointableProcess {
 
   void do_app_send(bool external, std::uint64_t input);
   void do_step(std::uint64_t input);
+  void do_confidence_loss();
   void process_message(const Message& m);
   void do_app_message(const Message& m);
   void do_passed_at(const Message& m);

@@ -12,6 +12,8 @@ const char* to_string(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kDriftRestore: return "drift_restore";
     case FaultEvent::Kind::kBlackoutStart: return "blackout_start";
     case FaultEvent::Kind::kBlackoutEnd: return "blackout_end";
+    case FaultEvent::Kind::kLaneFlip: return "lane_flip";
+    case FaultEvent::Kind::kSigFault: return "sig_fault";
   }
   return "?";
 }
@@ -49,6 +51,31 @@ void add_poisson(std::vector<FaultEvent>& out, Rng& rng, FaultEvent::Kind kind,
   }
 }
 
+/// Poisson arrivals of per-lane faults: each event draws a target process,
+/// an execution lane (modulo the scheme's lane count at injection time)
+/// and a 64-bit noise word.
+void add_lane_poisson(std::vector<FaultEvent>& out, Rng& rng,
+                      FaultEvent::Kind kind, Duration mean_gap,
+                      TimePoint start, Duration horizon, Duration margin,
+                      std::uint32_t n_targets) {
+  if (mean_gap <= Duration::zero()) return;
+  const TimePoint lo = start + margin;
+  const TimePoint hi = start + horizon - margin;
+  TimePoint t = lo + rng.exponential(mean_gap);
+  while (t < hi) {
+    FaultEvent ev;
+    ev.kind = kind;
+    ev.at = t;
+    ev.target = n_targets > 0
+                    ? static_cast<std::uint32_t>(rng.uniform_int(0, n_targets - 1))
+                    : 0;
+    ev.lane = static_cast<std::uint32_t>(rng.uniform_int(0, 2));
+    ev.noise = rng.next();
+    out.push_back(ev);
+    t += rng.exponential(mean_gap);
+  }
+}
+
 }  // namespace
 
 FaultSchedule FaultSchedule::generate(std::uint64_t seed,
@@ -74,6 +101,15 @@ FaultSchedule FaultSchedule::generate(std::uint64_t seed,
               rates.timed.resync_blackout_mean_gap, start, horizon, margin, 0,
               0.0, rates.timed.resync_blackout_duration,
               FaultEvent::Kind::kBlackoutEnd);
+  // Lane-fault classes ride *after* the original streams: with their
+  // default zero rates they draw nothing, so every pre-existing schedule
+  // stays bit-identical (the jobs-determinism contract).
+  add_lane_poisson(s.events_, rng, FaultEvent::Kind::kLaneFlip,
+                   rates.timed.lane_flip_mean_gap, start, horizon, margin,
+                   n_targets);
+  add_lane_poisson(s.events_, rng, FaultEvent::Kind::kSigFault,
+                   rates.timed.sig_fault_mean_gap, start, horizon, margin,
+                   n_targets);
 
   std::stable_sort(s.events_.begin(), s.events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -108,23 +144,32 @@ std::string FaultSchedule::to_json() const {
   std::snprintf(
       buf, sizeof buf,
       "\"timed\":{\"hw_gap_s\":%g,\"drift_gap_s\":%g,\"drift_factor\":%g,"
-      "\"blackout_gap_s\":%g},",
+      "\"blackout_gap_s\":%g,\"lane_flip_gap_s\":%g,\"sig_fault_gap_s\":%g},",
       rates_.timed.hw_fault_mean_gap.to_seconds(),
       rates_.timed.drift_excursion_mean_gap.to_seconds(),
       rates_.timed.drift_excursion_factor,
-      rates_.timed.resync_blackout_mean_gap.to_seconds());
+      rates_.timed.resync_blackout_mean_gap.to_seconds(),
+      rates_.timed.lane_flip_mean_gap.to_seconds(),
+      rates_.timed.sig_fault_mean_gap.to_seconds());
   out += buf;
   out += "\"events\":[";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const FaultEvent& ev = events_[i];
+    const bool lane_kind = ev.kind == FaultEvent::Kind::kLaneFlip ||
+                           ev.kind == FaultEvent::Kind::kSigFault;
+    const bool closed =
+        ev.kind != FaultEvent::Kind::kDriftExcursion && !lane_kind;
     std::snprintf(buf, sizeof buf,
                   "%s{\"t\":%.6f,\"kind\":\"%s\",\"target\":%u%s",
                   i ? "," : "", ev.at.to_seconds(), to_string(ev.kind),
-                  ev.target, ev.kind == FaultEvent::Kind::kDriftExcursion
-                                 ? "" : "}");
+                  ev.target, closed ? "}" : "");
     out += buf;
     if (ev.kind == FaultEvent::Kind::kDriftExcursion) {
       std::snprintf(buf, sizeof buf, ",\"drift\":%g}", ev.drift);
+      out += buf;
+    } else if (lane_kind) {
+      std::snprintf(buf, sizeof buf, ",\"lane\":%u,\"noise\":%llu}", ev.lane,
+                    static_cast<unsigned long long>(ev.noise));
       out += buf;
     }
   }

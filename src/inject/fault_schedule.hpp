@@ -39,6 +39,12 @@ struct TimedFaultRates {
   Duration resync_blackout_mean_gap = Duration::zero();
   /// How long the synchronization service stays unreachable.
   Duration resync_blackout_duration = Duration::seconds(30);
+  /// Mean gap between per-lane state bit-flips (COAST register/memory
+  /// model; 0 = none). Each flip picks a target process, a lane and a
+  /// noise word.
+  Duration lane_flip_mean_gap = Duration::zero();
+  /// Mean gap between per-lane CFCSS signature corruptions (0 = none).
+  Duration sig_fault_mean_gap = Duration::zero();
 };
 
 /// Everything the adversary is allowed to do in one mission.
@@ -55,11 +61,15 @@ struct FaultEvent {
     kDriftRestore,     ///< Excursion over: restore in-spec drift.
     kBlackoutStart,    ///< Resync service unreachable from here...
     kBlackoutEnd,      ///< ...until here.
+    kLaneFlip,         ///< Flip state bit `noise` of lane `lane` on `target`.
+    kSigFault,         ///< Corrupt lane `lane`'s CFCSS signature on `target`.
   };
   Kind kind;
   TimePoint at;
   std::uint32_t target = 0;  ///< Node/process index, when applicable.
   double drift = 0.0;        ///< Excursion drift rate, when applicable.
+  std::uint32_t lane = 0;    ///< Execution lane (lane-fault kinds).
+  std::uint64_t noise = 0;   ///< Bit-position / corruption word.
 };
 
 const char* to_string(FaultEvent::Kind kind);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "redundant/lanes.hpp"
 
 namespace synergy {
 
@@ -41,8 +42,76 @@ void MdcdEngine::set_validation_observer(std::function<void()> fn) {
 }
 
 void MdcdEngine::notify_validation() {
+  // A validation event restores full redundant coverage: parked lanes are
+  // re-synced from the just-validated primary before any observer (e.g.
+  // the write-through committer) captures state.
+  if (services_.lanes) services_.lanes->resync_parked();
   if (validation_observer_) validation_observer_();
 }
+
+// ---- Redundant-execution lanes ---------------------------------------------
+
+void MdcdEngine::app_apply_message(std::uint64_t payload,
+                                   bool payload_tainted) {
+  if (services_.lanes) {
+    services_.lanes->apply_message(payload, payload_tainted);
+  } else {
+    services_.app->apply_message(payload, payload_tainted);
+  }
+}
+
+void MdcdEngine::app_local_step(std::uint64_t input) {
+  if (services_.lanes) {
+    services_.lanes->local_step(input);
+  } else {
+    services_.app->local_step(input);
+  }
+}
+
+void MdcdEngine::app_corrupt(std::uint64_t noise) {
+  if (services_.lanes) {
+    services_.lanes->corrupt(noise);
+  } else {
+    services_.app->corrupt(noise);
+  }
+}
+
+bool MdcdEngine::vote_lanes() {
+  if (!services_.lanes) return true;
+  const bool ok = services_.lanes->vote_for_send();
+  // Parked lanes normally wait for a validation event to be re-synced.
+  // Once guarded mode ends, MDCD is on leave and validation events stop
+  // entirely — but every state is high-confidence by construction (paper
+  // §4.2), so an agreeing vote is as validated as the system gets. Without
+  // this, one masked fault after takeover would degrade TMR to a DWC pair
+  // for the rest of the mission.
+  if (ok && !guarded_) services_.lanes->resync_parked();
+  return ok;
+}
+
+void MdcdEngine::on_confidence_loss() {
+  if (!alive_) return;
+  if (blocking_) {
+    trace(TraceKind::kHoldBlocked, "confidence_loss");
+    deferred_.push_back(ConfLossReq{});
+    ++deferred_ops_;
+    return;
+  }
+  process_confidence_loss();
+}
+
+void MdcdEngine::process_confidence_loss() {
+  trace(TraceKind::kConfidenceLoss);
+  bump_protocol_version();
+  // Anchor the last trusted state immediately before admitting suspicion,
+  // mirroring the Type-1 placement before consuming a dirty message.
+  if (!contamination_flag()) {
+    establish_volatile_checkpoint(CkptKind::kType1);
+  }
+  note_confidence_loss();
+}
+
+void MdcdEngine::note_confidence_loss() { mark_dirty(); }
 
 // ---- Workload events -------------------------------------------------------
 
@@ -66,10 +135,10 @@ void MdcdEngine::on_local_step(std::uint64_t input) {
   }
   if (services_.sw_fault) {
     if (auto noise = services_.sw_fault->on_step()) {
-      services_.app->corrupt(*noise);
+      app_corrupt(*noise);
     }
   }
-  services_.app->local_step(input);
+  app_local_step(input);
 }
 
 // ---- Transport events -------------------------------------------------------
@@ -195,6 +264,8 @@ void MdcdEngine::end_blocking() {
       do_app_send(send->external, send->input);
     } else if (auto* step = std::get_if<StepReq>(&op)) {
       on_local_step(step->input);
+    } else if (std::get_if<ConfLossReq>(&op)) {
+      process_confidence_loss();
     } else {
       const Message& m = std::get<Message>(op);
       if (m.kind == MsgKind::kPassedAt) {
@@ -327,6 +398,11 @@ void MdcdEngine::record_recv(const Message& m, bool suspect) {
 // ---- Checkpointing ---------------------------------------------------------------
 
 CheckpointRecord MdcdEngine::make_record(CkptKind kind) const {
+  // Vote before any capture: a checkpoint must never snapshot an outvoted
+  // lane's corruption. A masked vote repairs the primary in place first; an
+  // unmaskable divergence still captures (the rollback the voter's caller
+  // requests will supersede this record anyway).
+  if (services_.lanes) services_.lanes->vote();
   CheckpointRecord rec;
   rec.kind = kind;
   rec.owner = self();
@@ -361,6 +437,9 @@ void MdcdEngine::restore_from_record(const CheckpointRecord& record) {
   deferred_.clear();
   deferred_acks_.clear();  // the rolled-back consumptions never happened
   blocking_ = false;
+  // Every replica realigns with the restored primary; latent lane faults
+  // were erased by the rollback (counted silent, not detected).
+  if (services_.lanes) services_.lanes->resync_after_restore();
 }
 
 Bytes MdcdEngine::snapshot_protocol_state() const {

@@ -51,6 +51,13 @@ class MdcdEngine : public CheckpointableProcess {
   /// One local computation step. Deferred during blocking.
   void on_local_step(std::uint64_t input);
 
+  /// Redundant-execution coverage was lost (CFCSS signature mismatch):
+  /// treat it like a failed AT feeding the dirty-bit machinery — anchor a
+  /// Type-1 checkpoint and mark the state suspect until the next covering
+  /// validation. Deferred during blocking (only passed-AT notifications
+  /// may be processed then); the event is queued, never dropped.
+  void on_confidence_loss();
+
   // ---- Transport events -------------------------------------------------
 
   /// Entry point for every non-ack delivery addressed to this process.
@@ -168,7 +175,24 @@ class MdcdEngine : public CheckpointableProcess {
   virtual void serialize_role_state(ByteWriter& w) const;
   virtual void deserialize_role_state(ByteReader& r);
 
+  /// How this role marks its state suspect on a confidence-loss event.
+  /// Base: set the dirty bit. P1act (modified) overrides — its dirty bit
+  /// is constant 1; received-contamination carries the suspicion instead.
+  virtual void note_confidence_loss();
+
   // Shared helpers for role implementations.
+
+  /// Application mutations route through the lane fan-out when redundant
+  /// lanes are configured, so every replica replays the same history.
+  void app_apply_message(std::uint64_t payload, bool payload_tainted);
+  void app_local_step(std::uint64_t input);
+  void app_corrupt(std::uint64_t noise);
+
+  /// Vote the lanes at a send boundary. Returns false when the voter found
+  /// an unmaskable divergence: the rollback handler has fired and the
+  /// caller must abort the send (never forward a suspect message).
+  /// Schemes without lanes trivially agree.
+  bool vote_lanes();
 
   /// True iff the passed-AT notification passes the Ndc gate (modified
   /// variant: piggybacked Ndc must equal the local Ndc; original variant:
@@ -255,10 +279,12 @@ class MdcdEngine : public CheckpointableProcess {
   struct StepReq {
     std::uint64_t input;
   };
-  using Deferred = std::variant<SendReq, StepReq, Message>;
+  struct ConfLossReq {};
+  using Deferred = std::variant<SendReq, StepReq, Message, ConfLossReq>;
 
   void process_passed_at(const Message& m);
   void process_app_message(const Message& m);
+  void process_confidence_loss();
 
   struct AckKey {
     ProcessId sender;

@@ -43,14 +43,18 @@ void P1ActEngine::clear_recv_dirty() {
 }
 
 void P1ActEngine::do_app_send(bool external, std::uint64_t input) {
+  // Vote the redundant lanes before computing the outgoing value: a
+  // divergence aborts the send (never forward a suspect message) and the
+  // voter has already requested a recovery-line rollback.
+  if (!vote_lanes()) return;
   // The design fault of the low-confidence version may manifest while
   // computing the outgoing value.
   if (services_.sw_fault) {
     if (auto noise = services_.sw_fault->on_send()) {
-      services_.app->corrupt(*noise);
+      app_corrupt(*noise);
     }
   }
-  services_.app->local_step(input);
+  app_local_step(input);
   const std::uint64_t payload = services_.app->output();
   const bool tainted = services_.app->tainted();
 
@@ -137,8 +141,21 @@ void P1ActEngine::do_app_message(const Message& m) {
     absorb_contamination(m);
   }
   record_recv(m, effectively_dirty(m));
-  services_.app->apply_message(m.payload, m.tainted);
+  app_apply_message(m.payload, m.tainted);
   trace(TraceKind::kDeliverApp, std::string(to_string(m.kind)), m.sn);
+}
+
+void P1ActEngine::note_confidence_loss() {
+  // The original P1act is invariably potentially contaminated (dirty_ is
+  // constant 1): a confidence loss adds nothing. Under the modified
+  // protocol the suspicion rides the received-contamination bit, leaving
+  // dirty_contam_ untouched so any covering validation clears it.
+  if (config_.variant != MdcdVariant::kModified) return;
+  if (!recv_dirty_) {
+    recv_dirty_ = true;
+    bump_protocol_version();  // serialized role state changed
+    trace(TraceKind::kDirtySet);
+  }
 }
 
 void P1ActEngine::serialize_role_state(ByteWriter& w) const {

@@ -32,6 +32,7 @@ class P1ActEngine final : public MdcdEngine {
   void do_app_send(bool external, std::uint64_t input) override;
   void do_passed_at(const Message& m) override;
   void do_app_message(const Message& m) override;
+  void note_confidence_loss() override;
   void serialize_role_state(ByteWriter& w) const override;
   void deserialize_role_state(ByteReader& r) override;
 

@@ -10,7 +10,11 @@ P1SdwEngine::P1SdwEngine(const MdcdConfig& config, ProcessServices services)
     : MdcdEngine(Role::kP1Sdw, config, std::move(services)) {}
 
 void P1SdwEngine::do_app_send(bool external, std::uint64_t input) {
-  services_.app->local_step(input);
+  // Vote before computing the outgoing value — in guarded mode too: the
+  // suppressed log must never record a suspect payload (takeover replays
+  // it). A divergence aborts; the voter already requested a rollback.
+  if (!vote_lanes()) return;
+  app_local_step(input);
   const std::uint64_t payload = services_.app->output();
   const bool tainted = services_.app->tainted();
   ++msg_sn_;
@@ -101,7 +105,7 @@ void P1SdwEngine::do_app_message(const Message& m) {
   }
   if (m.dirty) absorb_contamination(m);
   record_recv(m, effectively_dirty(m));
-  services_.app->apply_message(m.payload, m.tainted);
+  app_apply_message(m.payload, m.tainted);
   trace(TraceKind::kDeliverApp, std::string(to_string(m.kind)), m.sn);
 }
 

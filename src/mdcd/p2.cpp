@@ -10,7 +10,10 @@ P2Engine::P2Engine(const MdcdConfig& config, ProcessServices services)
 }
 
 void P2Engine::do_app_send(bool external, std::uint64_t input) {
-  services_.app->local_step(input);
+  // Vote before computing the outgoing value; a divergence aborts the send
+  // (the voter already requested a recovery-line rollback).
+  if (!vote_lanes()) return;
+  app_local_step(input);
   const std::uint64_t payload = services_.app->output();
   const bool tainted = services_.app->tainted();
 
@@ -92,7 +95,7 @@ void P2Engine::do_app_message(const Message& m) {
   }
   if (m.dirty) absorb_contamination(m);
   record_recv(m, effectively_dirty(m));
-  services_.app->apply_message(m.payload, m.tainted);
+  app_apply_message(m.payload, m.tainted);
   trace(TraceKind::kDeliverApp, std::string(to_string(m.kind)), m.sn);
 }
 

@@ -18,6 +18,8 @@
 
 namespace synergy {
 
+class LaneSet;
+
 struct ProcessServices {
   ProcessId self;
 
@@ -41,6 +43,15 @@ struct ProcessServices {
   /// Invoked when an AT failure demands software error recovery; the
   /// argument is the detecting process.
   std::function<void(ProcessId)> request_sw_recovery;
+
+  /// Redundant-execution lanes wrapping `app` (DWC/TMR schemes only).
+  /// When set, the engine mutates the application exclusively through the
+  /// lane fan-out and votes at send/capture boundaries.
+  LaneSet* lanes = nullptr;
+
+  /// Invoked when the voter detects an unmaskable divergence; the argument
+  /// is the detecting process. Triggers a recovery-line rollback.
+  std::function<void(ProcessId)> request_lane_rollback;
 };
 
 }  // namespace synergy

@@ -1,0 +1,278 @@
+#include "redundant/lanes.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace synergy {
+
+namespace {
+/// Fixed upper bound so the voter runs allocation-free (schemes use 2-3
+/// lanes; the micro-bench exercises 4).
+constexpr std::size_t kMaxLanes = 8;
+}  // namespace
+
+const char* to_string(VoteOutcome outcome) {
+  switch (outcome) {
+    case VoteOutcome::kAgree: return "agree";
+    case VoteOutcome::kMasked: return "masked";
+    case VoteOutcome::kDiverged: return "diverged";
+    case VoteOutcome::kSplit: return "split";
+  }
+  return "";  // unreachable: all enumerators handled above
+}
+
+LaneSet::LaneSet(ApplicationState& primary, std::size_t lane_count,
+                 TraceLog* trace, ProcessId self, std::function<TimePoint()> now)
+    : primary_(primary), trace_(trace), self_(self), now_(std::move(now)) {
+  SYNERGY_EXPECTS(lane_count >= 2 && lane_count <= kMaxLanes);
+  const Bytes snap = primary_.snapshot();
+  lanes_.reserve(lane_count);
+  lanes_.push_back(Lane{&primary_, kSigInit, false, 0});
+  for (std::size_t i = 1; i < lane_count; ++i) {
+    auto replica = std::make_unique<ApplicationState>();
+    replica->restore(snap);
+    lanes_.push_back(Lane{replica.get(), kSigInit, false, 0});
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+void LaneSet::trace(TraceKind kind, std::uint64_t a, std::uint64_t b) const {
+  if (trace_ && now_) trace_->record(now_(), self_, kind, {}, a, b);
+}
+
+void LaneSet::raise_confidence_loss() {
+  if (on_confidence_loss_) on_confidence_loss_();
+}
+
+std::size_t LaneSet::active_lanes() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) n += !lane.parked;
+  return n;
+}
+
+// ---- Operation fan-out ------------------------------------------------------
+
+void LaneSet::apply_message(std::uint64_t payload, bool payload_tainted) {
+  const std::uint64_t operand = payload * 2 + (payload_tainted ? 1 : 0);
+  golden_sig_ = sig_step(golden_sig_, SigOp::kApplyMessage, operand);
+  for (Lane& lane : lanes_) {
+    if (lane.parked) continue;
+    lane.state->apply_message(payload, payload_tainted);
+    lane.sig = sig_step(lane.sig, SigOp::kApplyMessage, operand);
+  }
+}
+
+void LaneSet::local_step(std::uint64_t input) {
+  golden_sig_ = sig_step(golden_sig_, SigOp::kLocalStep, input);
+  for (Lane& lane : lanes_) {
+    if (lane.parked) continue;
+    lane.state->local_step(input);
+    lane.sig = sig_step(lane.sig, SigOp::kLocalStep, input);
+  }
+}
+
+void LaneSet::corrupt(std::uint64_t noise) {
+  golden_sig_ = sig_step(golden_sig_, SigOp::kCorrupt, noise);
+  for (Lane& lane : lanes_) {
+    if (lane.parked) continue;
+    lane.state->corrupt(noise);
+    lane.sig = sig_step(lane.sig, SigOp::kCorrupt, noise);
+  }
+}
+
+// ---- Voting -----------------------------------------------------------------
+
+VoteOutcome LaneSet::vote() {
+  ++stats_.votes;
+  scan_signatures();
+
+  std::array<std::size_t, kMaxLanes> active{};
+  std::size_t n_active = 0;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (!lanes_[i].parked) active[n_active++] = i;
+  }
+  if (n_active <= 1) return VoteOutcome::kAgree;  // fully degraded
+
+  // Group identical lanes (n <= kMaxLanes: quadratic is allocation-free and
+  // faster than anything clever at this size).
+  std::array<std::size_t, kMaxLanes> group_of{};
+  std::array<std::size_t, kMaxLanes> group_rep{};
+  std::array<std::size_t, kMaxLanes> group_size{};
+  std::size_t n_groups = 0;
+  for (std::size_t j = 0; j < n_active; ++j) {
+    const ApplicationState& state = *lanes_[active[j]].state;
+    std::size_t g = n_groups;
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      if (state.equals(*lanes_[group_rep[k]].state)) {
+        g = k;
+        break;
+      }
+    }
+    if (g == n_groups) {
+      group_rep[n_groups] = active[j];
+      group_size[n_groups] = 0;
+      ++n_groups;
+    }
+    group_of[j] = g;
+    ++group_size[g];
+  }
+  if (n_groups == 1) return VoteOutcome::kAgree;
+
+  std::size_t majority = n_groups;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (group_size[g] * 2 > n_active) majority = g;
+  }
+
+  if (majority == n_groups) {
+    // No strict majority: DWC disagreement or a TMR multi-way split. The
+    // corruption is *detected* but cannot be masked; the caller aborts any
+    // pending send and the rollback lands on the recovery line.
+    for (std::size_t j = 0; j < n_active; ++j) {
+      Lane& lane = lanes_[active[j]];
+      stats_.detected += lane.pending;
+      lane.pending = 0;
+    }
+    ++stats_.divergences;
+    trace(TraceKind::kLaneDiverged, n_active, n_groups);
+    return n_groups >= 3 ? VoteOutcome::kSplit : VoteOutcome::kDiverged;
+  }
+
+  // Strict majority: mask the minority. An outvoted primary is repaired in
+  // place from a majority lane (the engine's state must stay trustworthy);
+  // an outvoted replica is parked until the next validation re-syncs it.
+  for (std::size_t j = 0; j < n_active; ++j) {
+    if (group_of[j] == majority) continue;
+    Lane& lane = lanes_[active[j]];
+    stats_.masked += lane.pending;
+    lane.pending = 0;
+    trace(TraceKind::kLaneMasked, active[j]);
+    if (active[j] == 0) {
+      primary_.restore(lanes_[group_rep[majority]].state->snapshot());
+      lane.sig = golden_sig_;
+      ++stats_.resyncs;
+      trace(TraceKind::kLaneResync, 1);
+    } else {
+      lane.parked = true;
+      trace(TraceKind::kLaneParked, active[j]);
+    }
+  }
+  ++stats_.masked_votes;
+  return VoteOutcome::kMasked;
+}
+
+bool LaneSet::vote_for_send() {
+  switch (vote()) {
+    case VoteOutcome::kAgree:
+    case VoteOutcome::kMasked:
+      return true;
+    case VoteOutcome::kDiverged:
+    case VoteOutcome::kSplit:
+      if (on_rollback_) on_rollback_();
+      return false;
+  }
+  return true;
+}
+
+// ---- Signature monitoring ---------------------------------------------------
+
+std::size_t LaneSet::scan_signatures() {
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    if (lane.parked || lane.sig == golden_sig_) continue;
+    ++found;
+    ++stats_.sig_mismatches;
+    stats_.detected += lane.pending;
+    lane.pending = 0;
+    trace(TraceKind::kSigMismatch, i);
+    if (i == 0) {
+      // The primary's control flow broke: its state is suspect. Repair
+      // from a healthy replica when one survives, else roll back.
+      std::size_t donor = lanes_.size();
+      for (std::size_t j = 1; j < lanes_.size(); ++j) {
+        if (!lanes_[j].parked && lanes_[j].sig == golden_sig_) {
+          donor = j;
+          break;
+        }
+      }
+      lane.sig = golden_sig_;
+      if (donor < lanes_.size()) {
+        primary_.restore(lanes_[donor].state->snapshot());
+        ++stats_.resyncs;
+        trace(TraceKind::kLaneResync, 1);
+      } else if (on_rollback_) {
+        on_rollback_();
+      }
+    } else {
+      lane.parked = true;
+      trace(TraceKind::kLaneParked, i);
+    }
+    // Redundant coverage was lost: MDCD's confidence in the current state
+    // drops exactly as if an acceptance test had flagged it.
+    raise_confidence_loss();
+  }
+  return found;
+}
+
+// ---- Re-sync ----------------------------------------------------------------
+
+std::size_t LaneSet::resync_parked() {
+  std::size_t revived = 0;
+  Bytes snap;
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    if (!lane.parked) continue;
+    wiped_ += lane.pending;
+    lane.pending = 0;
+    if (snap.empty()) snap = primary_.snapshot();
+    lane.state->restore(snap);
+    lane.sig = golden_sig_;
+    lane.parked = false;
+    ++stats_.resyncs;
+    ++revived;
+  }
+  if (revived) trace(TraceKind::kLaneResync, revived);
+  return revived;
+}
+
+void LaneSet::resync_after_restore() {
+  const Bytes snap = primary_.snapshot();
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    // Faults still latent at rollback were never caught by anyone — the
+    // rollback simply erased them. Accounting calls that silent.
+    wiped_ += lane.pending;
+    lane.pending = 0;
+    lane.sig = golden_sig_;
+    lane.parked = false;
+    if (i > 0) lane.state->restore(snap);
+  }
+}
+
+// ---- Fault injection --------------------------------------------------------
+
+void LaneSet::inject_state_flip(std::size_t lane, std::uint64_t noise) {
+  SYNERGY_EXPECTS(lane < lanes_.size());
+  lanes_[lane].state->flip_bit(noise);
+  ++lanes_[lane].pending;
+  ++stats_.injected;
+  trace(TraceKind::kLaneFlip, lane);
+}
+
+void LaneSet::inject_signature_fault(std::size_t lane, std::uint64_t noise) {
+  SYNERGY_EXPECTS(lane < lanes_.size());
+  lanes_[lane].sig ^= noise | 1;  // guarantee an actual change
+  ++lanes_[lane].pending;
+  ++stats_.injected;
+  trace(TraceKind::kSigFault, lane);
+}
+
+LaneStats LaneSet::stats() const {
+  LaneStats out = stats_;
+  out.silent = wiped_;
+  for (const Lane& lane : lanes_) out.silent += lane.pending;
+  return out;
+}
+
+}  // namespace synergy

@@ -1,0 +1,166 @@
+// Redundant-execution protection family (ROADMAP item 3): replicated
+// ApplicationState lanes with a majority voter and CFCSS-style signature
+// chains, in COAST's sphere-of-replication shape.
+//
+// Lane 0 is the *primary* — the ApplicationState the MDCD engine owns and
+// checkpoints. The remaining lanes are owned replicas that replay exactly
+// the same operation stream (fan-out through this class). Fault classes
+// and who covers them:
+//
+//   - software (design) faults hit ALL lanes identically — the voter is
+//     deliberately blind to them; acceptance tests cover that class. The
+//     synergy story is precisely that the families cover disjoint classes.
+//   - hardware state corruption (per-lane bit flips) desynchronizes one
+//     lane and is masked (TMR majority) or detected (DWC compare) at the
+//     next vote boundary: every send and every checkpoint capture votes.
+//   - control-flow corruption (per-lane signature faults) breaks a lane's
+//     CFCSS chain and is caught by scan_signatures() at vote boundaries
+//     and AssumptionMonitor sweeps; each mismatch raises a confidence-loss
+//     event that feeds the MDCD dirty-bit machinery like a failed AT.
+//
+// Degradation ladder (TMR): a voted-out or signature-broken replica is
+// *parked* — the set keeps running DWC-style on the survivors — and is
+// re-synced from the primary at the next validation event (resync_parked).
+// A divergence with no majority (DWC pair, or a TMR 1-1-1 split) cannot be
+// masked: the pending send is aborted and the rollback handler fires,
+// landing on the existing oracle-filtered recovery line.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "app/state.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "redundant/signature.hpp"
+#include "trace/trace.hpp"
+
+namespace synergy {
+
+enum class VoteOutcome : std::uint8_t {
+  kAgree,     ///< All active lanes identical.
+  kMasked,    ///< Strict majority outvoted a minority; fault masked.
+  kDiverged,  ///< Two-way disagreement with no majority (DWC detect).
+  kSplit,     ///< Three-way disagreement (TMR double-fault between votes).
+};
+
+const char* to_string(VoteOutcome outcome);
+
+/// Counters for the masked-vs-detected-vs-silent accounting campaign JSON
+/// reports (distinguishing masking from luck). At quiescence,
+/// injected == masked + detected + silent.
+struct LaneStats {
+  std::uint64_t injected = 0;   ///< Per-lane faults landed (state or sig).
+  std::uint64_t masked = 0;     ///< Outvoted by a strict majority.
+  std::uint64_t detected = 0;   ///< Caught by divergence or sig mismatch.
+  std::uint64_t silent = 0;     ///< Wiped by rollback/resync or still latent.
+  std::uint64_t votes = 0;
+  std::uint64_t masked_votes = 0;
+  std::uint64_t divergences = 0;     ///< Votes with no majority.
+  std::uint64_t sig_mismatches = 0;  ///< CFCSS chain breaks found.
+  std::uint64_t resyncs = 0;         ///< Lane repairs/re-syncs performed.
+};
+
+class LaneSet {
+ public:
+  /// `primary` is the engine-owned state (lane 0); `lane_count`-1 replicas
+  /// are cloned from its current snapshot. `trace`/`now` are optional
+  /// diagnostics plumbing (pass nullptr/empty for benches).
+  LaneSet(ApplicationState& primary, std::size_t lane_count, TraceLog* trace,
+          ProcessId self, std::function<TimePoint()> now);
+
+  LaneSet(const LaneSet&) = delete;
+  LaneSet& operator=(const LaneSet&) = delete;
+
+  std::size_t lane_count() const { return lanes_.size(); }
+  std::size_t active_lanes() const;
+  bool parked(std::size_t lane) const { return lanes_[lane].parked; }
+  std::uint64_t golden_signature() const { return golden_sig_; }
+  std::uint64_t lane_signature(std::size_t lane) const {
+    return lanes_[lane].sig;
+  }
+
+  /// Fired on every signature mismatch: redundant coverage was lost, MDCD
+  /// must treat the state as suspect (confidence-loss event).
+  void set_confidence_loss_handler(std::function<void()> fn) {
+    on_confidence_loss_ = std::move(fn);
+  }
+  /// Fired when the voter cannot mask (no majority) or the primary's chain
+  /// broke with no healthy donor: roll back to the recovery line.
+  void set_rollback_handler(std::function<void()> fn) {
+    on_rollback_ = std::move(fn);
+  }
+
+  // ---- Operation fan-out (replaces direct primary mutation) --------------
+  void apply_message(std::uint64_t payload, bool payload_tainted);
+  void local_step(std::uint64_t input);
+  /// Software-fault manifestation: corrupts every active lane identically
+  /// (a design fault computes the same wrong value on every lane).
+  void corrupt(std::uint64_t noise);
+
+  // ---- Voting and signature monitoring -----------------------------------
+
+  /// Compare all active lanes; mask a minority (restoring the primary in
+  /// place if it was the one outvoted), or report an unmaskable divergence.
+  /// Runs scan_signatures() first, so a vote boundary is also a signature
+  /// boundary. Does NOT invoke the rollback handler — callers decide
+  /// (send paths abort + roll back; capture paths capture the repaired
+  /// majority state and let the caller's outcome stand).
+  VoteOutcome vote();
+
+  /// Vote for a send boundary: on kDiverged/kSplit invokes the rollback
+  /// handler and returns false (the caller must abort the send).
+  bool vote_for_send();
+
+  /// Check every active lane's chain against the golden signature. A
+  /// mismatched replica is parked; a mismatched primary is restored from a
+  /// healthy replica (or the rollback handler fires when none is left).
+  /// Every mismatch raises a confidence-loss event. Returns the number of
+  /// newly found mismatches.
+  std::size_t scan_signatures();
+
+  /// Validation event: re-sync parked replicas from the primary. Returns
+  /// the number of lanes revived.
+  std::size_t resync_parked();
+
+  /// The primary was just restored from a checkpoint: realign every
+  /// replica and chain with it. Pending (unadjudicated) faults are wiped —
+  /// they were never caught, and the accounting says so.
+  void resync_after_restore();
+
+  // ---- Fault injection (COAST register/memory + control-flow model) ------
+  void inject_state_flip(std::size_t lane, std::uint64_t noise);
+  void inject_signature_fault(std::size_t lane, std::uint64_t noise);
+
+  /// Counters with `silent` folded in: wiped faults plus any still-pending
+  /// (latent) ones at call time.
+  LaneStats stats() const;
+
+ private:
+  struct Lane {
+    ApplicationState* state = nullptr;
+    std::uint64_t sig = kSigInit;
+    bool parked = false;
+    /// Faults injected into this lane, not yet adjudicated by a vote/scan.
+    std::uint32_t pending = 0;
+  };
+
+  void trace(TraceKind kind, std::uint64_t a = 0, std::uint64_t b = 0) const;
+  void raise_confidence_loss();
+
+  ApplicationState& primary_;
+  std::vector<std::unique_ptr<ApplicationState>> replicas_;
+  std::vector<Lane> lanes_;
+  std::uint64_t golden_sig_ = kSigInit;
+  LaneStats stats_;
+  std::uint64_t wiped_ = 0;  ///< Silent faults adjudicated so far.
+  TraceLog* trace_ = nullptr;
+  ProcessId self_{0};
+  std::function<TimePoint()> now_;
+  std::function<void()> on_confidence_loss_;
+  std::function<void()> on_rollback_;
+};
+
+}  // namespace synergy

@@ -1,0 +1,42 @@
+// CFCSS-style signature algebra for the redundant-execution lanes.
+//
+// Each lane carries a running signature updated at every application-level
+// operation (control-flow block). The golden chain is updated alongside by
+// the LaneSet from the same operation stream, so a lane whose control flow
+// diverged from the fan-out — modelled as a direct corruption of its
+// signature register — stops matching the golden value and stays mismatched
+// forever after (the mixer is a bijection, so distinct inputs stay
+// distinct). This is the application-model reduction of CFCSS: we do not
+// simulate basic blocks, we simulate the *observable* of CFCSS, a per-lane
+// signature that breaks exactly when that lane's control flow breaks.
+#pragma once
+
+#include <cstdint>
+
+namespace synergy {
+
+/// Starting value of every signature chain.
+inline constexpr std::uint64_t kSigInit = 0x5349474E41545552ULL;  // "SIGNATUR"
+
+/// Operation tags folded into the chain (the "block id" of CFCSS).
+enum class SigOp : std::uint8_t {
+  kApplyMessage = 1,
+  kLocalStep = 2,
+  kCorrupt = 3,
+};
+
+/// One chain update: fold the op tag and operand in, then finalize with a
+/// murmur-style mixer (a bijection on u64, so chains never re-converge).
+inline std::uint64_t sig_step(std::uint64_t sig, SigOp op,
+                              std::uint64_t operand) {
+  std::uint64_t x =
+      sig ^ (static_cast<std::uint64_t>(op) * 0x9E3779B97F4A7C15ULL) ^ operand;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace synergy

@@ -46,6 +46,14 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kCorruptRecord: return "corrupt_record";
     case TraceKind::kLineInconsistent: return "line_inconsistent";
     case TraceKind::kDegradation: return "degradation";
+    case TraceKind::kLaneFlip: return "lane_flip";
+    case TraceKind::kSigFault: return "sig_fault";
+    case TraceKind::kLaneMasked: return "lane_masked";
+    case TraceKind::kLaneDiverged: return "lane_diverged";
+    case TraceKind::kLaneParked: return "lane_parked";
+    case TraceKind::kLaneResync: return "lane_resync";
+    case TraceKind::kSigMismatch: return "sig_mismatch";
+    case TraceKind::kConfidenceLoss: return "confidence_loss";
   }
   return "?";
 }

@@ -58,6 +58,15 @@ enum class TraceKind : std::uint8_t {
   kCorruptRecord,   ///< Stable record failed its integrity check (a=Ndc).
   kLineInconsistent, ///< Line self-audit found inconsistent records (a=count).
   kDegradation,     ///< Degradation applied (detail: widen_tau | write_through | resend_unacked | reline).
+  // ---- Redundant-execution protection family (DWC/TMR lanes, CFCSS) ----
+  kLaneFlip,        ///< Per-lane state bit-flip injected (a=lane).
+  kSigFault,        ///< Per-lane signature corruption injected (a=lane).
+  kLaneMasked,      ///< Voter outvoted a minority; fault masked (a=lane).
+  kLaneDiverged,    ///< Voter found no majority; send aborted (a=active lanes).
+  kLaneParked,      ///< Lane voted out of service (a=lane).
+  kLaneResync,      ///< Parked/replica lanes re-synced (a=lane count).
+  kSigMismatch,     ///< CFCSS signature chain broke (a=lane).
+  kConfidenceLoss,  ///< Signature coverage lost; MDCD treats it like a failed AT.
 };
 
 const char* to_string(TraceKind kind);

@@ -1,0 +1,423 @@
+// Redundant-execution protection family: DWC/TMR lane voting, CFCSS
+// signature monitoring, the masked/detected/silent accounting, and the
+// coordination with MDCD (confidence-loss events, recovery-line
+// rollbacks). Unit tests drive a bare LaneSet; the System-level tests
+// check the wiring through engines, schedules and campaigns.
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/system.hpp"
+#include "inject/fault_schedule.hpp"
+#include "redundant/lanes.hpp"
+
+namespace synergy {
+namespace {
+
+// ---- LaneSet unit tests -----------------------------------------------------
+
+TEST(LaneSetTest, FanOutKeepsReplicasInLockstep) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 3, nullptr, ProcessId{0}, {});
+  lanes.apply_message(5, false);
+  lanes.local_step(9);
+  lanes.local_step(11);
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kAgree);
+  EXPECT_EQ(lanes.active_lanes(), 3u);
+  const LaneStats s = lanes.stats();
+  EXPECT_EQ(s.votes, 1u);
+  EXPECT_EQ(s.injected, 0u);
+  EXPECT_EQ(s.sig_mismatches, 0u);
+  // Every lane's CFCSS chain tracks the golden signature.
+  for (std::size_t i = 0; i < lanes.lane_count(); ++i) {
+    EXPECT_EQ(lanes.lane_signature(i), lanes.golden_signature());
+  }
+}
+
+TEST(LaneSetTest, TmrMasksPrimaryFlipAndRepairsInPlace) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 3, nullptr, ProcessId{0}, {});
+  lanes.local_step(1);
+  lanes.inject_state_flip(0, 42);
+  ASSERT_TRUE(app.tainted());  // ground truth: the engine's state is bad
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kMasked);
+  // The outvoted primary was repaired from the (untainted) majority.
+  EXPECT_FALSE(app.tainted());
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kAgree);
+  const LaneStats s = lanes.stats();
+  EXPECT_EQ(s.injected, 1u);
+  EXPECT_EQ(s.masked, 1u);
+  EXPECT_EQ(s.detected, 0u);
+  EXPECT_EQ(s.silent, 0u);
+  EXPECT_EQ(s.masked_votes, 1u);
+  EXPECT_EQ(s.resyncs, 1u);
+}
+
+TEST(LaneSetTest, TmrParksOutvotedReplicaUntilValidationResync) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 3, nullptr, ProcessId{0}, {});
+  lanes.inject_state_flip(2, 42);
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kMasked);
+  EXPECT_TRUE(lanes.parked(2));
+  EXPECT_EQ(lanes.active_lanes(), 2u);  // degraded to a DWC pair
+  // Parked lanes skip the fan-out; the survivors keep running.
+  lanes.local_step(3);
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kAgree);
+  // The validation event revives the parked lane from the primary.
+  EXPECT_EQ(lanes.resync_parked(), 1u);
+  EXPECT_FALSE(lanes.parked(2));
+  EXPECT_EQ(lanes.active_lanes(), 3u);
+  lanes.local_step(4);
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kAgree);
+  EXPECT_EQ(lanes.stats().masked, 1u);
+}
+
+TEST(LaneSetTest, DwcDivergenceAbortsSendAndFiresRollback) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 2, nullptr, ProcessId{0}, {});
+  int rollbacks = 0;
+  lanes.set_rollback_handler([&] { ++rollbacks; });
+  lanes.inject_state_flip(1, 42);
+  // Two lanes disagree: no majority, the send must not go out.
+  EXPECT_FALSE(lanes.vote_for_send());
+  EXPECT_EQ(rollbacks, 1);
+  const LaneStats s = lanes.stats();
+  EXPECT_EQ(s.injected, 1u);
+  EXPECT_EQ(s.detected, 1u);
+  EXPECT_EQ(s.masked, 0u);
+  EXPECT_EQ(s.divergences, 1u);
+}
+
+TEST(LaneSetTest, TmrDoubleFaultSplitFallsBackToRollback) {
+  // Two lanes corrupted (differently) between votes: a 1-1-1 split has no
+  // majority — TMR must detect and degrade to compare-and-rollback, never
+  // pick a winner.
+  ApplicationState app(7);
+  LaneSet lanes(app, 3, nullptr, ProcessId{0}, {});
+  int rollbacks = 0;
+  lanes.set_rollback_handler([&] { ++rollbacks; });
+  lanes.inject_state_flip(0, 0);  // reg 0, bit 0
+  lanes.inject_state_flip(1, 1);  // reg 0, bit 1 — a *different* corruption
+  EXPECT_FALSE(lanes.vote_for_send());
+  EXPECT_EQ(rollbacks, 1);
+  const LaneStats s = lanes.stats();
+  EXPECT_EQ(s.injected, 2u);
+  EXPECT_EQ(s.detected, 2u);
+  EXPECT_EQ(s.masked, 0u);
+  EXPECT_EQ(s.divergences, 1u);
+}
+
+TEST(LaneSetTest, SignatureFaultOnReplicaParksAndRaisesConfidenceLoss) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 3, nullptr, ProcessId{0}, {});
+  int losses = 0;
+  lanes.set_confidence_loss_handler([&] { ++losses; });
+  lanes.inject_signature_fault(1, 0xDEAD);
+  EXPECT_EQ(lanes.scan_signatures(), 1u);
+  EXPECT_TRUE(lanes.parked(1));
+  EXPECT_EQ(losses, 1);
+  const LaneStats s = lanes.stats();
+  EXPECT_EQ(s.sig_mismatches, 1u);
+  EXPECT_EQ(s.detected, 1u);
+}
+
+TEST(LaneSetTest, SignatureFaultOnPrimaryRepairsFromHealthyDonor) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 3, nullptr, ProcessId{0}, {});
+  int losses = 0;
+  lanes.set_confidence_loss_handler([&] { ++losses; });
+  lanes.inject_signature_fault(0, 0xBEEF);
+  EXPECT_EQ(lanes.scan_signatures(), 1u);
+  EXPECT_EQ(losses, 1);
+  // The primary is never parked — it was realigned from a healthy replica.
+  EXPECT_FALSE(lanes.parked(0));
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kAgree);
+  EXPECT_EQ(lanes.stats().resyncs, 1u);
+}
+
+TEST(LaneSetTest, PrimarySignatureFaultWithNoDonorRollsBack) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 2, nullptr, ProcessId{0}, {});
+  int losses = 0;
+  int rollbacks = 0;
+  lanes.set_confidence_loss_handler([&] { ++losses; });
+  lanes.set_rollback_handler([&] { ++rollbacks; });
+  // Both chains broken in the same scan window: the primary finds no
+  // healthy donor and the only safe exit is the recovery line.
+  lanes.inject_signature_fault(0, 0x10);
+  lanes.inject_signature_fault(1, 0x20);
+  EXPECT_EQ(lanes.scan_signatures(), 2u);
+  EXPECT_EQ(rollbacks, 1);
+  EXPECT_EQ(losses, 2);  // every mismatch raises its own event
+}
+
+TEST(LaneSetTest, AccountingInvariantInjectedEqualsMaskedDetectedSilent) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 3, nullptr, ProcessId{0}, {});
+  lanes.inject_state_flip(1, 42);
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kMasked);  // adjudicated: masked
+  lanes.inject_state_flip(2, 43);                 // still pending: silent
+  const LaneStats s = lanes.stats();
+  EXPECT_EQ(s.injected, 2u);
+  EXPECT_EQ(s.masked, 1u);
+  EXPECT_EQ(s.detected, 0u);
+  EXPECT_EQ(s.silent, 1u);
+  EXPECT_EQ(s.injected, s.masked + s.detected + s.silent);
+}
+
+TEST(LaneSetTest, ResyncAfterRestoreWipesPendingFaultsAsSilent) {
+  ApplicationState app(7);
+  LaneSet lanes(app, 3, nullptr, ProcessId{0}, {});
+  lanes.inject_state_flip(1, 42);
+  // A checkpoint restore realigns every lane with the primary; the fault
+  // was never caught by anyone — the accounting must say "silent", not
+  // forget it.
+  lanes.resync_after_restore();
+  EXPECT_EQ(lanes.vote(), VoteOutcome::kAgree);
+  const LaneStats s = lanes.stats();
+  EXPECT_EQ(s.injected, 1u);
+  EXPECT_EQ(s.silent, 1u);
+  EXPECT_EQ(s.injected, s.masked + s.detected + s.silent);
+}
+
+// ---- System-level wiring ----------------------------------------------------
+
+SystemConfig lane_system_config(Scheme scheme, std::uint64_t seed) {
+  SystemConfig c;
+  c.scheme = scheme;
+  c.seed = seed;
+  c.workload.p1_internal_rate = 1.0;
+  c.workload.p2_internal_rate = 1.0;
+  c.workload.p1_external_rate = 0.3;
+  c.workload.p2_external_rate = 0.3;
+  return c;
+}
+
+TEST(SystemLaneTest, TmrSchemeMasksSingleLaneFlip) {
+  System system(lane_system_config(Scheme::kMdcdTmr, 21));
+  system.start(TimePoint::origin() + Duration::seconds(200));
+  system.schedule_lane_fault(TimePoint::origin() + Duration::seconds(90),
+                             kP2, /*lane=*/0, /*sig_fault=*/false, 42);
+  system.run();
+
+  const LaneStats s = system.lane_stats();
+  EXPECT_EQ(s.injected, 1u);
+  EXPECT_EQ(s.masked, 1u);
+  // Masked means *no* rollback was needed — the mission never noticed.
+  EXPECT_EQ(system.lane_rollbacks(), 0u);
+  EXPECT_EQ(system.unprotected_flips(), 0u);
+  for (const auto& e : system.device().entries) {
+    EXPECT_FALSE(e.tainted);
+  }
+}
+
+TEST(SystemLaneTest, DwcSchemeDetectsFlipAndRollsBackToRecoveryLine) {
+  System system(lane_system_config(Scheme::kMdcdDwc, 22));
+  system.start(TimePoint::origin() + Duration::seconds(200));
+  system.schedule_lane_fault(TimePoint::origin() + Duration::seconds(90),
+                             kP2, /*lane=*/1, /*sig_fault=*/false, 42);
+  system.run();
+
+  const LaneStats s = system.lane_stats();
+  EXPECT_EQ(s.injected, 1u);
+  EXPECT_GE(s.detected, 1u);
+  EXPECT_EQ(s.masked, 0u);  // a pair can detect, never mask
+  // The divergence aborted the send and rode the hardware recovery line.
+  EXPECT_GE(system.lane_rollbacks(), 1u);
+  EXPECT_GE(system.hw_recoveries().size(), 1u);
+  for (const auto& e : system.device().entries) {
+    EXPECT_FALSE(e.tainted);
+  }
+}
+
+TEST(SystemLaneTest, SingleLaneSchemeCountsUnprotectedFlips) {
+  System system(lane_system_config(Scheme::kMdcdOnly, 23));
+  system.start(TimePoint::origin() + Duration::seconds(60));
+  system.schedule_lane_fault(TimePoint::origin() + Duration::seconds(20),
+                             kP2, /*lane=*/0, /*sig_fault=*/false, 42);
+  // A signature fault has nothing to corrupt without lanes: no-op.
+  system.schedule_lane_fault(TimePoint::origin() + Duration::seconds(30),
+                             kP2, /*lane=*/0, /*sig_fault=*/true, 7);
+  system.run();
+
+  EXPECT_EQ(system.unprotected_flips(), 1u);
+  const LaneStats s = system.lane_stats();
+  EXPECT_EQ(s.injected, 0u);  // no lane machinery ran
+  EXPECT_EQ(system.lane_rollbacks(), 0u);
+}
+
+TEST(SystemLaneTest, ConfidenceLossIsDeferredDuringBlockingNotDropped) {
+  // Satellite scenario: a CFCSS mismatch lands while the engine is inside
+  // a blocking period. MDCD's rule is that only passed_AT notifications
+  // are processed during blocking — the confidence-loss event must be
+  // queued and processed at end_blocking, never dropped.
+  System system(lane_system_config(Scheme::kMdcdTmr, 24));
+  system.start(TimePoint::origin() + Duration::seconds(200));
+  system.run_until(TimePoint::origin() + Duration::seconds(50));
+
+  ProcessNode& node = system.node(kP2);
+  LaneSet* lanes = node.lanes();
+  ASSERT_NE(lanes, nullptr);
+  MdcdEngine& engine = node.engine();
+  ASSERT_FALSE(engine.in_blocking());
+
+  const auto count = [&](TraceKind kind, const char* detail) {
+    std::size_t n = 0;
+    for (const auto& ev : system.trace().events()) {
+      n += ev.process == kP2 && ev.kind == kind &&
+           (detail == nullptr || ev.detail == detail);
+    }
+    return n;
+  };
+  ASSERT_EQ(count(TraceKind::kConfidenceLoss, nullptr), 0u);
+
+  engine.begin_blocking();
+  lanes->inject_signature_fault(1, 0x77);
+  EXPECT_EQ(lanes->scan_signatures(), 1u);
+  // Raised, held: the event is in the deferred queue, not processed.
+  EXPECT_EQ(count(TraceKind::kHoldBlocked, "confidence_loss"), 1u);
+  EXPECT_EQ(count(TraceKind::kConfidenceLoss, nullptr), 0u);
+
+  engine.end_blocking();
+  // The drain processed it: the state is marked suspect until the next
+  // covering validation.
+  EXPECT_EQ(count(TraceKind::kConfidenceLoss, nullptr), 1u);
+  EXPECT_TRUE(engine.dirty());
+}
+
+// ---- Scheme naming (round-trip) ---------------------------------------------
+
+TEST(SchemeTest, ToStringRoundTripsThroughParser) {
+  for (Scheme s : kAllSchemes) {
+    const auto parsed = scheme_from_string(to_string(s));
+    ASSERT_TRUE(parsed.has_value()) << to_string(s);
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(SchemeTest, CombinationAliasAndRejection) {
+  // "mdcd+tb" completes the combination grammar: it is the coordinated
+  // scheme under its constructive name.
+  ASSERT_TRUE(scheme_from_string("mdcd+tb").has_value());
+  EXPECT_EQ(*scheme_from_string("mdcd+tb"), Scheme::kCoordinated);
+  // Unknown or stale spellings are rejected, never defaulted.
+  EXPECT_FALSE(scheme_from_string("").has_value());
+  EXPECT_FALSE(scheme_from_string("mdcd").has_value());
+  EXPECT_FALSE(scheme_from_string("tmr").has_value());
+  EXPECT_FALSE(scheme_from_string("coordinated ").has_value());
+  EXPECT_FALSE(scheme_from_string("MDCD+TMR").has_value());
+}
+
+TEST(SchemeTest, LaneSchemesAlwaysHaveAStableLineToRollTo) {
+  // A lane divergence rolls back to the hardware recovery line, so every
+  // multi-lane scheme must populate stable storage somehow.
+  for (Scheme s : kAllSchemes) {
+    if (scheme_lane_count(s) > 1) {
+      EXPECT_TRUE(scheme_writes_through(s) || scheme_has_tb(s))
+          << to_string(s);
+    }
+  }
+}
+
+// ---- Seeded lane-fault schedules --------------------------------------------
+
+TEST(LaneScheduleTest, LaneEventsAreSeededAndCarryLaneFields) {
+  InjectorRates rates;  // all other adversity off
+  rates.timed.hw_fault_mean_gap = Duration::zero();
+  rates.timed.lane_flip_mean_gap = Duration::seconds(30);
+  rates.timed.sig_fault_mean_gap = Duration::seconds(60);
+  const auto gen = [&](std::uint64_t seed) {
+    return FaultSchedule::generate(seed, rates, TimePoint::origin(),
+                                   Duration::seconds(600), 1e-5, 3);
+  };
+  const FaultSchedule s1 = gen(9);
+  const FaultSchedule s2 = gen(9);
+  EXPECT_EQ(s1.to_json(), s2.to_json());
+
+  std::size_t flips = 0, sig_faults = 0;
+  for (const FaultEvent& e : s1.events()) {
+    switch (e.kind) {
+      case FaultEvent::Kind::kLaneFlip: ++flips; break;
+      case FaultEvent::Kind::kSigFault: ++sig_faults; break;
+      default: FAIL() << "only lane kinds were enabled";
+    }
+    EXPECT_LT(e.target, 3u);
+    EXPECT_LT(e.lane, 3u);
+  }
+  EXPECT_GT(flips, 0u);
+  EXPECT_GT(sig_faults, 0u);
+  // The replayable description covers the new adversary knobs.
+  EXPECT_NE(s1.to_json().find("\"lane_flip_gap_s\""), std::string::npos);
+  EXPECT_NE(s1.to_json().find("\"lane\""), std::string::npos);
+}
+
+TEST(LaneScheduleTest, DefaultRatesScheduleNoLaneFaults) {
+  // Pre-existing campaigns must replay bit-identically: the lane streams
+  // are off by default and drawn after the existing ones.
+  const FaultSchedule s =
+      FaultSchedule::generate(3, default_injector_rates(), TimePoint::origin(),
+                              Duration::seconds(600), 1e-5, 3);
+  for (const FaultEvent& e : s.events()) {
+    EXPECT_NE(e.kind, FaultEvent::Kind::kLaneFlip);
+    EXPECT_NE(e.kind, FaultEvent::Kind::kSigFault);
+  }
+}
+
+// ---- Campaign integration ---------------------------------------------------
+
+CampaignConfig lane_campaign_config(Scheme scheme) {
+  CampaignConfig config;
+  config.scheme = scheme;
+  config.mission = Duration::seconds(300);
+  // Only the lane adversary: makes masked==injected a hard property (any
+  // other fault class could wipe a pending flip into "silent").
+  config.rates = InjectorRates{};
+  config.rates.timed.hw_fault_mean_gap = Duration::zero();
+  config.rates.timed.lane_flip_mean_gap = Duration::seconds(45);
+  return config;
+}
+
+TEST(LaneCampaignTest, MissionReplayIncludesLaneCounters) {
+  CampaignConfig config = lane_campaign_config(Scheme::kMdcdTmr);
+  config.rates.timed.sig_fault_mean_gap = Duration::seconds(90);
+  const MissionReport r1 = run_mission(config, 777);
+  const MissionReport r2 = run_mission(config, 777);
+  EXPECT_TRUE(r1 == r2);  // operator== covers the lane counters
+  EXPECT_GT(r1.lane_injected, 0u);
+  EXPECT_EQ(r1.lane_injected,
+            r1.lane_masked + r1.lane_detected + r1.lane_silent);
+}
+
+TEST(LaneCampaignTest, TmrMasksTheScheduleThatBreaksUnprotectedMdcd) {
+  // The headline property: under the *same* seeded bit-flip schedule, TMR
+  // completes every mission with the faults masked (zero attributable
+  // rollbacks), while unprotected MDCD lets corruption reach the device.
+  CampaignConfig tmr = lane_campaign_config(Scheme::kMdcdTmr);
+  tmr.seed = 42;
+  tmr.reps = 5;
+  const CampaignResult masked = run_campaign(tmr, nullptr);
+  EXPECT_EQ(masked.failed, 0u);
+  std::uint64_t injected = 0;
+  for (const MissionReport& m : masked.missions) {
+    EXPECT_TRUE(m.ok) << "seed " << m.seed;
+    EXPECT_EQ(m.lane_rollbacks, 0u) << "seed " << m.seed;
+    EXPECT_EQ(m.lane_injected, m.lane_masked) << "seed " << m.seed;
+    injected += m.lane_injected;
+  }
+  EXPECT_GT(injected, 0u);
+
+  CampaignConfig bare = lane_campaign_config(Scheme::kMdcdOnly);
+  bare.seed = 42;
+  bare.reps = 5;
+  const CampaignResult exposed = run_campaign(bare, nullptr);
+  std::uint64_t unprotected = 0;
+  for (const MissionReport& m : exposed.missions) {
+    unprotected += m.lane_unprotected;
+  }
+  EXPECT_GT(unprotected, 0u);
+  // AT coverage is the only (probabilistic) defense left: some mission in
+  // the batch lets an erroneous value out or dies trying.
+  EXPECT_GT(exposed.failed, 0u);
+}
+
+}  // namespace
+}  // namespace synergy

@@ -56,8 +56,27 @@ TEST_P(SchemeSweep, FaultFreeInvariants) {
       break;
     case Scheme::kNaive:
     case Scheme::kCoordinated:
+    case Scheme::kMdcdTbTmr:
       EXPECT_GT(system.node(kP2).tb()->checkpoints_taken(), 15u);
       break;
+    case Scheme::kMdcdDwc:
+    case Scheme::kMdcdTmr:
+      // Lane schemes are timer-less but still populate stable storage
+      // write-through style (divergence rollbacks need a line to land on).
+      EXPECT_EQ(system.node(kP2).tb(), nullptr);
+      EXPECT_GT(system.write_through()->stable_writes(), 0u);
+      break;
+  }
+
+  // Lane schemes: a fault-free mission never parks a lane or votes one out.
+  if (scheme_lane_count(sc.scheme) > 1) {
+    LaneSet* lanes = system.node(kP2).lanes();
+    ASSERT_NE(lanes, nullptr);
+    EXPECT_EQ(lanes->active_lanes(), scheme_lane_count(sc.scheme));
+    const LaneStats ls = lanes->stats();
+    EXPECT_GT(ls.votes, 0u);  // every send boundary voted
+    EXPECT_EQ(ls.divergences, 0u);
+    EXPECT_EQ(ls.sig_mismatches, 0u);
   }
 
   // Volatile checkpointing is message-driven in every scheme: Type-1
@@ -107,8 +126,7 @@ TEST_P(SchemeSweep, SoftwareRecoveryInvariants) {
 std::vector<SchemeCase> scheme_cases() {
   std::vector<SchemeCase> cases;
   std::uint64_t seed = 500;
-  for (Scheme scheme : {Scheme::kMdcdOnly, Scheme::kWriteThrough,
-                        Scheme::kNaive, Scheme::kCoordinated}) {
+  for (Scheme scheme : kAllSchemes) {
     for (double rate : {1.0, 6.0}) {
       for (int rep = 0; rep < 2; ++rep) {
         cases.push_back(SchemeCase{scheme, seed++, rate});
@@ -121,8 +139,12 @@ std::vector<SchemeCase> scheme_cases() {
 INSTANTIATE_TEST_SUITE_P(
     AllSchemes, SchemeSweep, ::testing::ValuesIn(scheme_cases()),
     [](const ::testing::TestParamInfo<SchemeCase>& info) {
-      return std::string(to_string(info.param.scheme)) + "_seed" +
-             std::to_string(info.param.seed) + "_r" +
+      std::string name = to_string(info.param.scheme);
+      // gtest test names must be alphanumeric: "mdcd+tb+tmr" -> "mdcd_tb_tmr".
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name + "_seed" + std::to_string(info.param.seed) + "_r" +
              std::to_string(static_cast<int>(info.param.internal_rate));
     });
 

@@ -47,8 +47,10 @@ USAGE
   synergy help
 
 RUN OPTIONS
-  --scheme S          mdcd_only | write_through | naive | coordinated
-                      (default coordinated)
+  --scheme S          mdcd_only | write_through | naive | coordinated |
+                      mdcd+dwc | mdcd+tmr | mdcd+tb+tmr
+                      ("mdcd+tb" is an alias for coordinated; default
+                      coordinated)
   --seed N            RNG seed (default 1)
   --duration SECS     mission length (default 3600)
   --internal-rate R   component internal msgs/s (default 2.0)
@@ -99,6 +101,10 @@ CHAOS OPTIONS
   --hw-gap SECS       mean gap between node crashes, 0=off (default 150)
   --drift-gap SECS    mean gap between drift excursions, 0=off (default 200)
   --blackout-gap SECS mean gap between resync blackouts, 0=off (default 250)
+  --lane-gap SECS     mean gap between per-lane state bit-flips, 0=off
+                      (default 0; COAST register/memory injection model)
+  --sig-gap SECS      mean gap between per-lane CFCSS signature faults,
+                      0=off (default 0)
   --verbose           one summary line per mission
   A failing mission prints its seed and full schedule JSON; re-running
   with --replay SEED reproduces it exactly.
@@ -115,10 +121,7 @@ const char* arg_value(int argc, char** argv, int& i) {
 }
 
 Scheme parse_scheme(const std::string& s) {
-  if (s == "mdcd_only") return Scheme::kMdcdOnly;
-  if (s == "write_through") return Scheme::kWriteThrough;
-  if (s == "naive") return Scheme::kNaive;
-  if (s == "coordinated") return Scheme::kCoordinated;
+  if (const auto scheme = scheme_from_string(s)) return *scheme;
   std::fprintf(stderr, "unknown scheme: %s\n", s.c_str());
   usage(2);
 }
@@ -350,6 +353,8 @@ int cmd_chaos(int argc, char** argv) {
     else if (a == "--hw-gap") config.rates.timed.hw_fault_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
     else if (a == "--drift-gap") config.rates.timed.drift_excursion_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
     else if (a == "--blackout-gap") config.rates.timed.resync_blackout_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    else if (a == "--lane-gap") config.rates.timed.lane_flip_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    else if (a == "--sig-gap") config.rates.timed.sig_fault_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
     else if (a == "--trace-csv") config.trace_csv = arg_value(argc, argv, i);
     else if (a == "--verbose") config.verbose = true;
     else {
@@ -394,6 +399,19 @@ int cmd_chaos(int argc, char** argv) {
                 static_cast<unsigned long long>(r.monitor.forced_write_throughs),
                 static_cast<unsigned long long>(r.monitor.forced_resends),
                 static_cast<unsigned long long>(r.monitor.relines));
+    if (scheme_lane_count(config.scheme) > 1 || r.lane_injected > 0) {
+      std::printf("lanes: injected=%llu masked=%llu detected=%llu "
+                  "silent=%llu unprotected=%llu rollbacks=%llu resyncs=%llu "
+                  "sig_mismatch=%llu\n",
+                  static_cast<unsigned long long>(r.lane_injected),
+                  static_cast<unsigned long long>(r.lane_masked),
+                  static_cast<unsigned long long>(r.lane_detected),
+                  static_cast<unsigned long long>(r.lane_silent),
+                  static_cast<unsigned long long>(r.lane_unprotected),
+                  static_cast<unsigned long long>(r.lane_rollbacks),
+                  static_cast<unsigned long long>(r.lane_resyncs),
+                  static_cast<unsigned long long>(r.sig_mismatches));
+    }
     for (const auto& f : r.failures) std::printf("  %s\n", f.c_str());
     if (!r.ok) std::printf("schedule: %s\n", r.schedule_json.c_str());
     return r.ok ? 0 : 1;
@@ -413,18 +431,34 @@ int cmd_chaos(int argc, char** argv) {
     // Checkpoint-volume counters across all missions: trend data for the
     // allocation-lean pipeline (how much encoding the caches spared).
     std::uint64_t records = 0, encoded = 0, hits = 0, misses = 0, stable = 0;
+    std::uint64_t lane_inj = 0, lane_masked = 0, lane_det = 0, lane_silent = 0,
+                  lane_unprot = 0, lane_rb = 0;
     for (const MissionReport& r : result.missions) {
       records += r.ckpt_records;
       encoded += r.ckpt_bytes_encoded;
       hits += r.ckpt_cache_hits;
       misses += r.ckpt_cache_misses;
       stable += r.stable_bytes_written;
+      lane_inj += r.lane_injected;
+      lane_masked += r.lane_masked;
+      lane_det += r.lane_detected;
+      lane_silent += r.lane_silent;
+      lane_unprot += r.lane_unprotected;
+      lane_rb += r.lane_rollbacks;
     }
     writer.set_counter("ckpt_records_established", records);
     writer.set_counter("ckpt_bytes_encoded", encoded);
     writer.set_counter("ckpt_cache_hits", hits);
     writer.set_counter("ckpt_cache_misses", misses);
     writer.set_counter("stable_bytes_written", stable);
+    // Lane-fault adjudication across the campaign: the masked-vs-detected
+    // -vs-silent comparison EXPERIMENTS.md commits for the TMR demo.
+    writer.set_counter("lane_faults_injected", lane_inj);
+    writer.set_counter("lane_faults_masked", lane_masked);
+    writer.set_counter("lane_faults_detected", lane_det);
+    writer.set_counter("lane_faults_silent", lane_silent);
+    writer.set_counter("lane_faults_unprotected", lane_unprot);
+    writer.set_counter("lane_rollbacks", lane_rb);
     if (!writer.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
