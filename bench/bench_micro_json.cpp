@@ -129,6 +129,21 @@ int run(int argc, char** argv) {
            });
   }
   {
+    // The ABFT workload's computed acceptance test: recompute row/column
+    // sums over the encoded block and compare. Runs on every external
+    // message AND every monitor scrub sweep, so its cost gates how cheap
+    // computed coverage is relative to an assumed-coverage draw.
+    ApplicationState app(1, WorkloadKind::kAbft);
+    std::uint64_t i = 0;
+    bool sink = true;
+    record("abft_at_check", scaled(effort, 100'000, 1'000'000, 5'000'000),
+           [&] {
+             app.local_step(++i);
+             sink ^= app.abft_check_ok();
+           });
+    if (!sink && i == 0) std::printf("(unreachable)\n");
+  }
+  {
     // A representative checkpoint record (populated views, transport state
     // and dedup sets from a few real protocol events) serialized into a
     // reused scratch writer: the stable-store commit hot path.
@@ -191,6 +206,35 @@ int run(int argc, char** argv) {
                 static_cast<double>(iters) / secs});
     std::printf("%-28s %12llu iters %14.1f ns/op %10.3f missions/s\n",
                 "chaos_mission_60s", static_cast<unsigned long long>(iters),
+                secs * 1e9 / static_cast<double>(iters),
+                static_cast<double>(iters) / secs);
+  }
+  {
+    // The mobile family end-to-end: disconnection epochs, burst loss and
+    // handoffs layered on the chaos mission. Tracks the overhead of link
+    // bookkeeping + handoff migration against plain chaos_mission_60s.
+    CampaignConfig config;
+    config.mission = Duration::seconds(60);
+    config.rates.mobile.disconnect_mean_gap = Duration::seconds(25);
+    config.rates.mobile.disconnect_mean_len = Duration::seconds(8);
+    config.rates.mobile.handoff_mean_gap = Duration::seconds(40);
+    const std::uint64_t iters = scaled(effort, 3, 10, 30);
+    Rng seeder(1);
+    std::uint64_t seed = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      seed = seeder.next();
+      const MissionReport r = run_mission(config, seed);
+      if (!r.ok) std::printf("mission seed=%llu FAIL (bench continues)\n",
+                             static_cast<unsigned long long>(seed));
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    writer.add({"mobile_mission_60s", iters,
+                secs * 1e9 / static_cast<double>(iters),
+                static_cast<double>(iters) / secs});
+    std::printf("%-28s %12llu iters %14.1f ns/op %10.3f missions/s\n",
+                "mobile_mission_60s", static_cast<unsigned long long>(iters),
                 secs * 1e9 / static_cast<double>(iters),
                 static_cast<double>(iters) / secs);
   }

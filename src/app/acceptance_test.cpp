@@ -12,7 +12,13 @@ AcceptanceTest::AcceptanceTest(const AtParams& params, Rng rng)
 
 bool AcceptanceTest::run(bool message_tainted) {
   bool pass;
-  if (message_tainted) {
+  if (checker_) {
+    // Computed verdict: no randomness — the state decides, the ground
+    // truth classifies.
+    pass = checker_();
+    if (message_tainted && pass) ++missed_;
+    if (!message_tainted && !pass) ++false_alarms_;
+  } else if (message_tainted) {
     pass = !rng_.bernoulli(params_.coverage);
     if (pass) ++missed_;
   } else {

@@ -6,9 +6,19 @@
 // a tainted message fails the test) and false-alarm rate (probability a
 // clean message is wrongly rejected). The protocols consume only the
 // boolean outcome.
+//
+// ABFT workloads replace the assumed-coverage draw with a *computed*
+// verdict (set_checker): the checksum self-check over the encoded block
+// state decides pass/fail, and the coverage/false-alarm parameters become
+// irrelevant. The counters then measure the encoding's real detection
+// behaviour — missed_detections() counts tainted messages the checksums
+// could not see — which is what turns coverage from an input into an
+// output of the campaign.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/rng.hpp"
 
@@ -29,6 +39,15 @@ class AcceptanceTest {
   /// `message_tainted`. Returns true iff the test passes.
   bool run(bool message_tainted);
 
+  /// Replace the probabilistic verdict with a computed one: `checker`
+  /// returns true iff the state under test passes (e.g. the ABFT checksum
+  /// self-check). Ground-truth taint still classifies the outcome into the
+  /// counters, so missed detections and false alarms are measured, not
+  /// assumed.
+  void set_checker(std::function<bool()> checker) {
+    checker_ = std::move(checker);
+  }
+
   std::uint64_t passes() const { return passes_; }
   std::uint64_t failures() const { return failures_; }
   std::uint64_t missed_detections() const { return missed_; }
@@ -37,6 +56,7 @@ class AcceptanceTest {
  private:
   AtParams params_;
   Rng rng_;
+  std::function<bool()> checker_;
   std::uint64_t passes_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t missed_ = 0;

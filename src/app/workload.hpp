@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "app/state.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "sim/simulator.hpp"
@@ -32,6 +33,11 @@ struct WorkloadParams {
   double p2_external_rate = 0.05;
   /// Local computation steps per second, per process.
   double step_rate = 10.0;
+  /// Which application-state variant the mission's processes run. The ABFT
+  /// variant swaps the assumed-coverage AT for a verdict computed from the
+  /// checksum-encoded block state. (Last so positional initializers of the
+  /// rate fields stay valid.)
+  WorkloadKind kind = WorkloadKind::kRegisters;
 };
 
 class WorkloadDriver {

@@ -9,6 +9,7 @@
 #include "analysis/global_state.hpp"
 #include "common/assert.hpp"
 #include "coord/hw_recovery.hpp"
+#include "coord/reline.hpp"
 
 namespace synergy {
 
@@ -47,7 +48,24 @@ bool AssumptionMonitor::quiescent() const {
   return true;
 }
 
+bool AssumptionMonitor::link_excuses(ProcessId p, TimePoint sent_at) const {
+  if (!link_oracle_.impaired) return false;
+  // Impaired right now, or the traffic predates the link's return to
+  // service: lateness (or loss) is the declared epoch's doing, not a
+  // broken delivery-bound assumption.
+  return link_oracle_.impaired(p) || sent_at < link_oracle_.last_restored(p);
+}
+
 void AssumptionMonitor::on_late_delivery(const Message& m, Duration lateness) {
+  if (link_excuses(m.sender, m.sent_at) || link_excuses(m.receiver, m.sent_at)) {
+    ++stats_.disconnect_deferrals;
+    if (trace_) {
+      trace_->record(sim_.now(), m.receiver, TraceKind::kDisconnectDeferral,
+                     "late_delivery",
+                     static_cast<std::uint64_t>(lateness.count()));
+    }
+    return;
+  }
   ++stats_.bound_violations;
   if (trace_) {
     trace_->record(sim_.now(), m.receiver, TraceKind::kBoundViolation, {},
@@ -117,10 +135,44 @@ void AssumptionMonitor::sweep() {
     // receivers have moved on.
     if (prev_unacked_.size() != nodes_.size()) {
       prev_unacked_.assign(nodes_.size(), {});
+      was_impaired_.assign(nodes_.size(), 0);
+      unacked_over_.assign(nodes_.size(), 0);
     }
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       ProcessNode* n = nodes_[i];
       if (n->retired()) {
+        prev_unacked_[i].clear();
+        continue;
+      }
+      const bool impaired =
+          link_oracle_.impaired && link_oracle_.impaired(n->id());
+      if (impaired) {
+        // Declared disconnection epoch: traffic parked unacked behind the
+        // link is expected, not a violation. Defer (once per node per
+        // sweep), restart the staleness clock, and remember to drain the
+        // backlog as soon as the link returns.
+        ++stats_.disconnect_deferrals;
+        if (trace_) {
+          trace_->record(sim_.now(), n->id(), TraceKind::kDisconnectDeferral,
+                         "undelivered", n->endpoint().unacked_count());
+        }
+        prev_unacked_[i].clear();
+        was_impaired_[i] = 1;
+        continue;
+      }
+      if (was_impaired_[i]) {
+        // First sweep after reconnection: resend proactively instead of
+        // waiting a further staleness round. Not a violation — the epoch
+        // explained the backlog.
+        was_impaired_[i] = 0;
+        if (params_.degrade && n->endpoint().unacked_count() > 0) {
+          ++stats_.forced_resends;
+          if (trace_) {
+            trace_->record(sim_.now(), n->id(), TraceKind::kDegradation,
+                           "reconnect_resend", n->endpoint().unacked_count());
+          }
+          n->resend_unacked();
+        }
         prev_unacked_[i].clear();
         continue;
       }
@@ -132,7 +184,36 @@ void AssumptionMonitor::sweep() {
         current.push_back(m.transport_seq);
         if (prev.contains(m.transport_seq)) ++stale;
       }
+      const std::size_t unacked_now = current.size();
       prev_unacked_[i] = std::move(current);
+
+      // Unacked-log bound: multi-epoch partitions (or a peer that stopped
+      // acking) grow the log without limit; count the excursion once and
+      // try to drain it. The resend either clears entries (peer alive) or
+      // confirms the drop for the staleness watchdog.
+      if (unacked_now > params_.unacked_bound) {
+        if (!unacked_over_[i]) {
+          unacked_over_[i] = 1;
+          ++stats_.unacked_overflows;
+          if (trace_) {
+            trace_->record(sim_.now(), n->id(), TraceKind::kBoundViolation,
+                           "unacked_overflow", unacked_now);
+          }
+          if (params_.degrade) {
+            ++stats_.forced_resends;
+            if (trace_) {
+              trace_->record(sim_.now(), n->id(), TraceKind::kDegradation,
+                             "drain_unacked", unacked_now);
+            }
+            n->resend_unacked();
+            prev_unacked_[i].clear();
+            continue;
+          }
+        }
+      } else {
+        unacked_over_[i] = 0;  // excursion over: re-arm the latch
+      }
+
       if (stale == 0) continue;
       stats_.undelivered_messages += stale;
       if (trace_) {
@@ -148,6 +229,35 @@ void AssumptionMonitor::sweep() {
         n->resend_unacked();
         prev_unacked_[i].clear();  // resent just now: restart the clock
       }
+    }
+
+    // ABFT scrub: recompute the block checksums between AT runs so a
+    // latent flip is noticed before the next external message would carry
+    // its taint out. A damaged encoding feeds the MDCD confidence
+    // machinery exactly like a failed signature check; the latch keeps one
+    // episode from re-counting every sweep until an AT-triggered recovery
+    // clears it.
+    if (abft_flagged_.size() != nodes_.size()) {
+      abft_flagged_.assign(nodes_.size(), 0);
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      ProcessNode* n = nodes_[i];
+      if (n->retired() || n->crashed() ||
+          n->app().mode() != WorkloadKind::kAbft) {
+        continue;
+      }
+      if (n->app().abft_check_ok()) {
+        abft_flagged_[i] = 0;
+        continue;
+      }
+      if (abft_flagged_[i]) continue;
+      abft_flagged_[i] = 1;
+      ++stats_.abft_scrub_detections;
+      if (trace_) {
+        trace_->record(sim_.now(), n->id(), TraceKind::kAbftScrub, {},
+                       n->id().value());
+      }
+      if (params_.degrade) n->engine().on_confidence_loss();
     }
 
     for (ProcessNode* n : nodes_) {
@@ -265,48 +375,15 @@ void AssumptionMonitor::finish_line_repair() {
 }
 
 void AssumptionMonitor::reestablish_line() {
-  // Mirror of the post-takeover line refresh (System::on_at_failure): all
-  // participants commit a checkpoint of their state at this same instant
-  // under a fresh common index and fast-forward their TB schedules to it.
-  // Same-instant records form a consistent cut (in-flight messages live in
-  // the senders' unacked logs), and the damaged record can no longer be
-  // selected: every future line is at or above the new index.
-  Duration interval = Duration::zero();
-  for (ProcessNode* n : nodes_) {
-    if (n->retired()) continue;
-    if (n->tb() == nullptr) return;  // no common index space to re-line in
-    interval = n->tb()->params().interval;
-  }
-  StableSeq line =
-      static_cast<StableSeq>(sim_.now().count() / interval.count()) + 1;
-  for (ProcessNode* n : nodes_) {
-    if (n->retired()) continue;
-    line = std::max(line, n->tb()->ndc() + 1);
-  }
-  for (ProcessNode* n : nodes_) {
-    if (n->retired() || !n->has_stable_storage()) continue;
-    if (n->engine().in_blocking()) n->engine().end_blocking();
-    // Contents follow the adapted protocol's rule (TbEngine::create_ckpt):
-    // a contaminated process persists its last validated volatile
-    // checkpoint, never its current state — a dirty record on the line
-    // would forfeit software recoverability for every future rollback.
-    CheckpointRecord rec;
-    if (n->engine().contamination_flag() &&
-        n->engine().latest_volatile().has_value()) {
-      rec = *n->engine().latest_volatile();
-      rec.kind = CkptKind::kStable;
-      rec.established_at = n->engine().current_time();
-    } else {
-      rec = n->engine().make_record(CkptKind::kStable);
-    }
-    rec.ndc = line;
-    n->sstore().commit_now(std::move(rec));
-    n->tb()->reset_after_recovery(line);
-  }
+  // Shared with the System's handoff path (coord/reline.hpp): the same
+  // coordinated same-instant write-through maneuver serves line repair and
+  // post-migration re-anchoring alike.
+  const auto line = reestablish_recovery_line(sim_, nodes_);
+  if (!line) return;  // no common index space to re-line in
   ++stats_.relines;
   if (trace_) {
     trace_->record(sim_.now(), ProcessId{0}, TraceKind::kDegradation, "reline",
-                   line);
+                   *line);
   }
 }
 

@@ -35,9 +35,22 @@
 // Every clean run stays silent: each detector's threshold includes the
 // in-spec drift/latency envelope, so zero violations is the expected
 // steady state — and what the campaign checkers assert.
+//
+// Mobile missions add a twist: a *declared* disconnection epoch is an
+// expected outage, not a broken assumption. When a link oracle is
+// installed (set_link_oracle), violations attributable to an impaired
+// link — late deliveries to/from it, traffic parked unacked behind it —
+// are *deferred* (counted separately, never tripping degradations), and
+// the first sweep after a link returns proactively resends its unacked
+// backlog instead of waiting for the staleness watchdog. The monitor also
+// bounds each node's unacked log (a multi-epoch partition grows it
+// without limit otherwise) and, for ABFT workloads, scrubs each node's
+// block encoding between AT runs, feeding a damaged encoding into the
+// MDCD confidence machinery the way a failed signature check would.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "clock/ensemble.hpp"
@@ -53,6 +66,9 @@ struct MonitorParams {
   Duration sweep_interval = Duration::seconds(5);
   /// Late deliveries widen the assumed tmax to observed * this factor.
   double widen_margin = 1.25;
+  /// Per-node unacked-log bound: above this the sweep counts an overflow
+  /// and (degrading, link permitting) forces a resend to drain it.
+  std::size_t unacked_bound = 256;
   /// Apply degradations (false = detect and count only).
   bool degrade = true;
 };
@@ -66,6 +82,11 @@ struct MonitorStats {
   std::uint64_t undelivered_messages = 0;
   std::uint64_t line_inconsistencies = 0;
   std::uint64_t signature_mismatches = 0;  ///< CFCSS breaks found by sweeps.
+  std::uint64_t unacked_overflows = 0;  ///< Unacked log exceeded its bound.
+  std::uint64_t abft_scrub_detections = 0;  ///< Damaged encodings found.
+  // Deferred (neither violation nor degradation): detections suppressed
+  // because a declared disconnection epoch explains them.
+  std::uint64_t disconnect_deferrals = 0;
   // Degradations applied.
   std::uint64_t tau_widenings = 0;
   std::uint64_t forced_resyncs = 0;
@@ -77,7 +98,7 @@ struct MonitorStats {
   std::uint64_t violations() const {
     return bound_violations + blocking_overruns + write_timeouts +
            corrupt_records + undelivered_messages + line_inconsistencies +
-           signature_mismatches;
+           signature_mismatches + unacked_overflows + abft_scrub_detections;
   }
   std::uint64_t degradations() const {
     return tau_widenings + forced_resyncs + forced_write_throughs +
@@ -94,9 +115,22 @@ class AssumptionMonitor {
   /// Hook the network / TB observers and arm the periodic storage sweep.
   void install();
 
+  /// Declared-disconnection oracle (mobile missions): while `impaired(p)`
+  /// is true, violations attributable to p's link defer instead of
+  /// tripping; `last_restored(p)` lets deliveries of traffic sent before
+  /// the link returned be excused too.
+  struct LinkOracle {
+    std::function<bool(ProcessId)> impaired;
+    std::function<TimePoint(ProcessId)> last_restored;
+  };
+  void set_link_oracle(LinkOracle oracle) { link_oracle_ = std::move(oracle); }
+
   const MonitorStats& stats() const { return stats_; }
 
  private:
+  /// True iff p's link state (or its recent restoration) explains traffic
+  /// sent at `sent_at` arriving late or not at all.
+  bool link_excuses(ProcessId p, TimePoint sent_at) const;
   void on_late_delivery(const Message& m, Duration lateness);
   void on_overrun(ProcessId p, Duration actual, Duration allowed);
   void sweep();
@@ -119,12 +153,21 @@ class AssumptionMonitor {
   MonitorParams params_;
   TraceLog* trace_;
   MonitorStats stats_;
+  LinkOracle link_oracle_;
   bool installed_ = false;
   bool repair_pending_ = false;
   /// Unacked transport seqs per node as of the previous sweep: a message
   /// still unacked one full sweep after being seen was dropped (or its ack
   /// was), far outside any in-spec delivery + validation latency.
   std::vector<std::vector<std::uint64_t>> prev_unacked_;
+  /// Node was link-impaired at the previous sweep: the first sweep after
+  /// reconnection proactively resends instead of counting staleness.
+  std::vector<char> was_impaired_;
+  /// Latch per node: an unacked-bound excursion is counted once, not once
+  /// per sweep it persists.
+  std::vector<char> unacked_over_;
+  /// Latch per node: a damaged ABFT encoding is counted once per episode.
+  std::vector<char> abft_flagged_;
 };
 
 }  // namespace synergy

@@ -41,7 +41,7 @@ ProcessNode::ProcessNode(Role role, Simulator& sim, Network& net,
                          std::function<void(ProcessId)> request_sw_recovery,
                          std::function<void(ProcessId)> request_lane_rollback)
     : role_(role), id_(id_for(role)), sim_(sim), net_(net), trace_(trace),
-      app_(app_seed) {
+      app_(app_seed, config.workload) {
   if (config.scheme != Scheme::kMdcdOnly) {
     sstore_ = std::make_unique<StableStore>(sim, config.sstore);
   }
@@ -51,6 +51,12 @@ ProcessNode::ProcessNode(Role role, Simulator& sim, Network& net,
         app_, n_lanes, trace, id_, [&sim] { return sim.now(); });
   }
   at_ = std::make_unique<AcceptanceTest>(config.at, rng.split());
+  if (config.workload == WorkloadKind::kAbft) {
+    // ABFT: the AT verdict is computed from the encoded block state, not
+    // drawn from assumed coverage. The rng split above still happens, so
+    // sibling streams (sw_fault, storage) keep their draws either way.
+    at_->set_checker([this] { return app_.abft_check_ok(); });
+  }
   if (role == Role::kP1Act) {
     sw_fault_ = std::make_unique<SoftwareFaultModel>(config.sw_fault,
                                                      rng.split());

@@ -33,6 +33,9 @@ namespace synergy {
 struct NodeConfig {
   MdcdConfig mdcd;
   AtParams at;
+  /// Application-state variant. In ABFT mode the AT verdict is computed
+  /// from the node's checksum-encoded block instead of drawn from `at`.
+  WorkloadKind workload = WorkloadKind::kRegisters;
   /// Design-fault model; only applied when the node hosts P1act.
   SoftwareFaultParams sw_fault;
   StableStoreParams sstore;

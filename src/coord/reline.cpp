@@ -1,0 +1,52 @@
+#include "coord/reline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace synergy {
+
+std::optional<StableSeq> reestablish_recovery_line(
+    Simulator& sim, const std::vector<ProcessNode*>& nodes) {
+  // All participants commit a checkpoint of their state at this same
+  // instant under a fresh common index and fast-forward their TB schedules
+  // to it. Same-instant records form a consistent cut (in-flight messages
+  // live in the senders' unacked logs), and any damaged or abandoned older
+  // record can no longer be selected: every future line is at or above the
+  // new index.
+  Duration interval = Duration::zero();
+  for (ProcessNode* n : nodes) {
+    if (n->retired()) continue;
+    if (n->tb() == nullptr) return std::nullopt;  // no common index space
+    interval = n->tb()->params().interval;
+  }
+  if (interval <= Duration::zero()) return std::nullopt;  // no live nodes
+  StableSeq line =
+      static_cast<StableSeq>(sim.now().count() / interval.count()) + 1;
+  for (ProcessNode* n : nodes) {
+    if (n->retired()) continue;
+    line = std::max(line, n->tb()->ndc() + 1);
+  }
+  for (ProcessNode* n : nodes) {
+    if (n->retired() || !n->has_stable_storage()) continue;
+    if (n->engine().in_blocking()) n->engine().end_blocking();
+    // Contents follow the adapted protocol's rule (TbEngine::create_ckpt):
+    // a contaminated process persists its last validated volatile
+    // checkpoint, never its current state — a dirty record on the line
+    // would forfeit software recoverability for every future rollback.
+    CheckpointRecord rec;
+    if (n->engine().contamination_flag() &&
+        n->engine().latest_volatile().has_value()) {
+      rec = *n->engine().latest_volatile();
+      rec.kind = CkptKind::kStable;
+      rec.established_at = n->engine().current_time();
+    } else {
+      rec = n->engine().make_record(CkptKind::kStable);
+    }
+    rec.ndc = line;
+    n->sstore().commit_now(std::move(rec));
+    n->tb()->reset_after_recovery(line);
+  }
+  return line;
+}
+
+}  // namespace synergy

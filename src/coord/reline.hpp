@@ -1,0 +1,35 @@
+// Coordinated recovery-line re-establishment.
+//
+// Shared by the AssumptionMonitor (line repair after latent corruption or
+// a detected inconsistency) and the System's base-station handoff path
+// (after a node's stable store migrated, the surviving history may no
+// longer intersect the other nodes' at a consistent cut). Both need the
+// same maneuver: every participant commits a checkpoint of its state at
+// this same instant under a fresh common index and fast-forwards its TB
+// schedule to it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "coord/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace synergy {
+
+/// Commit a same-instant write-through checkpoint on every live node under
+/// a fresh common stable index (strictly above every node's current ndc
+/// and above the current boundary), and fast-forward the TB schedules to
+/// it. Same-instant records form a consistent cut — in-flight messages
+/// live in the senders' unacked logs — so the new line is restorable and
+/// consistent by construction. Contents follow the adapted protocol's
+/// rule: a contaminated process persists its last validated volatile
+/// checkpoint, never its current state.
+///
+/// Returns the new common index, or nullopt when the nodes share no
+/// common index space (some live node has no TB engine) — the caller must
+/// treat that as "cannot reline here".
+std::optional<StableSeq> reestablish_recovery_line(
+    Simulator& sim, const std::vector<ProcessNode*>& nodes);
+
+}  // namespace synergy

@@ -57,6 +57,9 @@ MissionReport run_mission(const CampaignConfig& config,
   sc.seed = mission_seed;
   sc.net_faults = config.rates.net;
   sc.sstore.faults = config.rates.storage;
+  // Mobile missions drive link state through the FaultyNetwork decorator
+  // even when every per-message rate is zero.
+  sc.enable_link_faults = config.rates.mobile.any();
   sc.enable_monitor = true;
   sc.harden_recovery = true;
   if (!config.trace_csv.empty()) sc.enable_trace = true;
@@ -101,6 +104,24 @@ MissionReport run_mission(const CampaignConfig& config,
             ev.at, ProcessId{ev.target % kNumCanonicalProcesses}, ev.lane,
             ev.kind == FaultEvent::Kind::kSigFault, ev.noise);
         break;
+      case FaultEvent::Kind::kLinkDown:
+        system.schedule_link_down(
+            ev.at, ProcessId{ev.target % kNumCanonicalProcesses},
+            (ev.noise & kLinkRx) != 0, (ev.noise & kLinkTx) != 0,
+            (ev.noise & kLinkFull) != 0, ev.drift);
+        break;
+      case FaultEvent::Kind::kLinkUp:
+        system.schedule_link_up(ev.at,
+                                ProcessId{ev.target % kNumCanonicalProcesses});
+        break;
+      case FaultEvent::Kind::kHandoff:
+        // A handoff re-homes the stable store; storeless schemes have
+        // nothing to migrate.
+        if (sc.scheme != Scheme::kMdcdOnly) {
+          system.schedule_handoff(
+              ev.at, ProcessId{ev.target % kNumCanonicalProcesses});
+        }
+        break;
     }
   }
 
@@ -124,8 +145,12 @@ MissionReport run_mission(const CampaignConfig& config,
   audit("final");
 
   // With a perfect acceptance test no erroneous value may ever reach the
-  // device, no matter what the injectors did.
-  if (sc.at.coverage >= 1.0 && sc.at.false_alarm <= 0.0) {
+  // device, no matter what the injectors did. ABFT workloads compute their
+  // verdicts from the block checksums — their coverage is measured, never
+  // promised — so the perfect-AT oracle only applies to the registers
+  // workload.
+  if (sc.workload.kind == WorkloadKind::kRegisters && sc.at.coverage >= 1.0 &&
+      sc.at.false_alarm <= 0.0) {
     for (const auto& e : system.device().entries) {
       if (e.tainted) {
         report.failures.push_back("tainted external output at " +
@@ -137,10 +162,24 @@ MissionReport run_mission(const CampaignConfig& config,
 
   if (FaultyNetwork* fn = system.faulty_net()) {
     report.injected_net = fn->injected_total();
+    report.link_epochs = fn->link_epochs();
+    report.disconnect_drops = fn->disconnect_drops();
+    report.burst_drops = fn->burst_drops();
   }
+  report.handoffs = system.handoffs();
+  report.handoff_aborted_writes = system.handoff_aborted_writes();
   report.late_deliveries = system.net().late_deliveries();
   for (std::uint32_t p = 0; p < kNumCanonicalProcesses; ++p) {
     ProcessNode& n = system.node(ProcessId{p});
+    report.unacked_high_water =
+        std::max<std::uint64_t>(report.unacked_high_water,
+                                n.endpoint().unacked_high_water());
+    const AcceptanceTest& at = n.at();
+    const std::uint64_t detected = at.failures() - at.false_alarms();
+    report.at_detected += detected;
+    report.at_missed += at.missed_detections();
+    report.at_exposures += detected + at.missed_detections();
+    report.at_false_alarms += at.false_alarms();
     report.ckpt_records += n.vstore().saves();
     report.ckpt_bytes_encoded += n.app().snapshot_bytes_encoded() +
                                  n.engine().protocol_bytes_encoded() +
@@ -211,6 +250,14 @@ bool operator==(const MissionReport& a, const MissionReport& b) {
          a.lane_rollbacks == b.lane_rollbacks &&
          a.lane_resyncs == b.lane_resyncs &&
          a.sig_mismatches == b.sig_mismatches &&
+         a.link_epochs == b.link_epochs &&
+         a.disconnect_drops == b.disconnect_drops &&
+         a.burst_drops == b.burst_drops && a.handoffs == b.handoffs &&
+         a.handoff_aborted_writes == b.handoff_aborted_writes &&
+         a.unacked_high_water == b.unacked_high_water &&
+         a.at_exposures == b.at_exposures && a.at_detected == b.at_detected &&
+         a.at_missed == b.at_missed &&
+         a.at_false_alarms == b.at_false_alarms &&
          a.schedule_json == b.schedule_json &&
          ma.bound_violations == mb.bound_violations &&
          ma.blocking_overruns == mb.blocking_overruns &&
@@ -219,6 +266,9 @@ bool operator==(const MissionReport& a, const MissionReport& b) {
          ma.undelivered_messages == mb.undelivered_messages &&
          ma.line_inconsistencies == mb.line_inconsistencies &&
          ma.signature_mismatches == mb.signature_mismatches &&
+         ma.unacked_overflows == mb.unacked_overflows &&
+         ma.abft_scrub_detections == mb.abft_scrub_detections &&
+         ma.disconnect_deferrals == mb.disconnect_deferrals &&
          ma.lane_repairs == mb.lane_repairs &&
          ma.tau_widenings == mb.tau_widenings &&
          ma.forced_resyncs == mb.forced_resyncs &&
@@ -250,6 +300,33 @@ std::string format_mission_report(const CampaignConfig& config,
           << " detected=" << report.lane_detected
           << " silent=" << report.lane_silent
           << " lane_rb=" << report.lane_rollbacks;
+    }
+    // Mobile-family counters only when the family is armed; pre-mobile
+    // campaigns keep their lines byte-identical.
+    if (config.rates.mobile.any()) {
+      out << " link_epochs=" << report.link_epochs
+          << " disc_drop=" << report.disconnect_drops
+          << " burst_drop=" << report.burst_drops
+          << " handoffs=" << report.handoffs
+          << " handoff_aborts=" << report.handoff_aborted_writes
+          << " unacked_hw=" << report.unacked_high_water
+          << " deferred=" << report.monitor.disconnect_deferrals;
+    }
+    // Assumed-vs-computed coverage only for ABFT workloads, where the AT
+    // verdicts are measured from the block checksums.
+    if (config.base.workload.kind == WorkloadKind::kAbft) {
+      out << " at_exposed=" << report.at_exposures
+          << " at_detect=" << report.at_detected
+          << " at_miss=" << report.at_missed;
+      out.setf(std::ios::fixed);
+      out.precision(3);
+      out << " cov_computed="
+          << (report.at_exposures > 0
+                  ? static_cast<double>(report.at_detected) /
+                        static_cast<double>(report.at_exposures)
+                  : 1.0)
+          << " cov_assumed=" << config.base.at.coverage;
+      out.unsetf(std::ios::fixed);
     }
     out << "\n";
   }

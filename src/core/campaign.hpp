@@ -99,6 +99,26 @@ struct MissionReport {
   std::uint64_t lane_resyncs = 0;    ///< lane repairs from surviving majority
   std::uint64_t sig_mismatches = 0;  ///< CFCSS signature-chain detections
 
+  // Mobile/intermittent-connectivity family (zero unless the mobile rates
+  // are armed).
+  std::uint64_t link_epochs = 0;        ///< disconnection epochs begun
+  std::uint64_t disconnect_drops = 0;   ///< messages lost to blackouts
+  std::uint64_t burst_drops = 0;        ///< messages lost to burst chains
+  std::uint64_t handoffs = 0;           ///< base-station handoffs performed
+  std::uint64_t handoff_aborted_writes = 0;  ///< writes abandoned mid-handoff
+  std::uint64_t unacked_high_water = 0;  ///< max per-node unacked-log size
+
+  // Acceptance-test outcome tallies summed over all nodes. For ABFT
+  // workloads the verdicts are computed from the block checksums, so
+  //   computed coverage = at_detected / (at_detected + at_missed)
+  // is a *measured* output to compare against the assumed `at.coverage`
+  // input — the campaign's honest answer to "what does the AT really
+  // catch here".
+  std::uint64_t at_exposures = 0;    ///< AT runs on tainted state
+  std::uint64_t at_detected = 0;     ///< tainted runs that failed the AT
+  std::uint64_t at_missed = 0;       ///< tainted runs that passed (blind spot)
+  std::uint64_t at_false_alarms = 0; ///< clean runs that failed
+
   MonitorStats monitor;
 
   /// Populated when the mission failed: the full replayable adversary.

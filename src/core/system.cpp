@@ -3,12 +3,13 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "coord/reline.hpp"
 
 namespace synergy {
 
 System::System(const SystemConfig& config) : config_(config) {
   rng_ = std::make_unique<Rng>(config.seed);
-  if (config.net_faults.any()) {
+  if (config.net_faults.any() || config.enable_link_faults) {
     auto fn = std::make_unique<FaultyNetwork>(sim_, config.net,
                                               config.net_faults, rng_->split());
     faulty_net_ = fn.get();
@@ -31,6 +32,7 @@ System::System(const SystemConfig& config) : config_(config) {
   nc.mdcd.tracking = config.tracking;
   nc.mdcd.record_history = config.record_history;
   nc.at = config.at;
+  nc.workload = config.workload.kind;
   nc.sw_fault = config.sw_fault;
   nc.sstore = config.sstore;
   nc.tb = config.tb;
@@ -102,6 +104,15 @@ System::System(const SystemConfig& config) : config_(config) {
                                   nodes_[2].get()},
         config.monitor, trace);
     monitor_->install();
+    if (faulty_net_) {
+      // Declared disconnection epochs are expected outages, not broken
+      // assumptions: give the monitor the link oracle so it defers
+      // violations the epochs explain.
+      FaultyNetwork* fn = faulty_net_;
+      monitor_->set_link_oracle(AssumptionMonitor::LinkOracle{
+          [fn](ProcessId p) { return fn->link_impaired(p); },
+          [fn](ProcessId p) { return fn->link_last_restored(p); }});
+    }
   }
 
   workload_ = std::make_unique<WorkloadDriver>(sim_, config.workload,
@@ -204,6 +215,79 @@ void System::inject_lane_fault(ProcessId target, std::uint32_t lane,
   if (config_.enable_trace) {
     trace_.record(sim_.now(), target, TraceKind::kLaneFlip, "unprotected");
   }
+}
+
+void System::schedule_link_down(TimePoint at, ProcessId target, bool rx,
+                                bool tx, bool full, double burst_loss) {
+  SYNERGY_EXPECTS(faulty_net_ != nullptr);
+  sim_.schedule_at(at, [this, target, rx, tx, full, burst_loss] {
+    faulty_net_->set_link_down(target, rx, tx, full, burst_loss);
+    if (config_.enable_trace) {
+      const std::uint64_t flags = (rx ? 1u : 0u) | (tx ? 2u : 0u) |
+                                  (full ? 4u : 0u);
+      trace_.record(sim_.now(), target, TraceKind::kLinkDown, {}, flags);
+    }
+  });
+}
+
+void System::schedule_link_up(TimePoint at, ProcessId target) {
+  SYNERGY_EXPECTS(faulty_net_ != nullptr);
+  sim_.schedule_at(at, [this, target] {
+    faulty_net_->set_link_up(target);
+    if (config_.enable_trace) {
+      trace_.record(sim_.now(), target, TraceKind::kLinkUp);
+    }
+  });
+}
+
+void System::schedule_handoff(TimePoint at, ProcessId target) {
+  sim_.schedule_at(at, [this, target] { perform_handoff(target); });
+}
+
+bool System::perform_handoff(ProcessId target) {
+  // A handoff mid-recovery would race the coordinated restart's own line
+  // refresh; the next scheduled handoff gets its chance instead.
+  if (hw_manager_->recovery_pending()) return false;
+  ProcessNode& n = node(target);
+  if (n.retired() || n.crashed() || !n.has_stable_storage()) return false;
+
+  // Transfer budget: about half the retained history fits through the
+  // handoff gap. A drain window of two base write latencies lets a nearly
+  // finished write complete at the old station; anything slower is
+  // abandoned and forced through by the write watchdog at the new home.
+  constexpr std::size_t kHandoffKeepDepth = 4;
+  const Duration drain_window = config_.sstore.write_base_latency * 2;
+  const StableStore::HandoffOutcome outcome =
+      n.sstore().handoff(kHandoffKeepDepth, drain_window);
+  ++handoffs_;
+  if (outcome.write_abandoned) ++handoff_aborted_writes_;
+  if (config_.enable_trace) {
+    trace_.record(sim_.now(), target, TraceKind::kHandoff,
+                  outcome.write_abandoned ? "abandoned_write" : "",
+                  outcome.migrated);
+  }
+
+  // Dropped history can leave the nodes without a consistent common index
+  // (the other stores still retain what this one lost): re-derive the
+  // recovery line at a fresh common index right away rather than leaving
+  // a window where a rollback would have to search for one.
+  if (outcome.dropped > 0 && scheme_has_tb(config_.scheme)) {
+    std::vector<ProcessNode*> all;
+    all.reserve(nodes_.size());
+    bool quiescent = true;
+    for (auto& node : nodes_) {
+      if (!node->retired() && node->crashed()) quiescent = false;
+      all.push_back(node.get());
+    }
+    if (quiescent) {
+      if (const auto line = reestablish_recovery_line(sim_, all);
+          line && config_.enable_trace) {
+        trace_.record(sim_.now(), target, TraceKind::kDegradation,
+                      "handoff_reline", *line);
+      }
+    }
+  }
+  return true;
 }
 
 void System::on_lane_rollback(ProcessId detector) {

@@ -64,6 +64,12 @@ struct SystemConfig {
   /// rate swaps the network for a FaultyNetwork decorator.
   NetFaultParams net_faults;
 
+  /// Build the FaultyNetwork decorator even with all per-message rates
+  /// zero, so the mobile mission family can drive link state
+  /// (schedule_link_down / schedule_link_up) on an otherwise clean
+  /// network.
+  bool enable_link_faults = false;
+
   /// Install the assumption monitors + graceful degradation.
   bool enable_monitor = false;
   MonitorParams monitor;
@@ -142,6 +148,25 @@ class System {
   void inject_lane_fault(ProcessId target, std::uint32_t lane, bool sig_fault,
                          std::uint64_t noise);
 
+  // ---- Mobile/intermittent-connectivity family ---------------------------
+  /// Begin a disconnection epoch on `target`'s link at `at`: the selected
+  /// directions go dark (full) or degrade to correlated burst loss.
+  /// Requires the FaultyNetwork decorator (net_faults or
+  /// enable_link_faults).
+  void schedule_link_down(TimePoint at, ProcessId target, bool rx, bool tx,
+                          bool full, double burst_loss);
+  /// End `target`'s disconnection epoch at `at`.
+  void schedule_link_up(TimePoint at, ProcessId target);
+  /// Base-station handoff at `at`: re-home `target`'s stable store —
+  /// drain-or-abandon the in-progress write, migrate the newest checkpoint
+  /// records, and (TB schemes) re-derive the recovery line at a fresh
+  /// common index so dropped history can never be selected.
+  void schedule_handoff(TimePoint at, ProcessId target);
+  /// Immediate-injection form of schedule_handoff (tests). Returns false
+  /// when the handoff was skipped (node retired/crashed/storeless or a
+  /// recovery in flight).
+  bool perform_handoff(ProcessId target);
+
   // ---- Results ---------------------------------------------------------------
   const std::vector<HwRecoveryStats>& hw_recoveries() const {
     return hw_recoveries_;
@@ -156,6 +181,13 @@ class System {
   /// (single-lane) scheme's live state.
   std::uint64_t lane_rollbacks() const { return lane_rollbacks_; }
   std::uint64_t unprotected_flips() const { return unprotected_flips_; }
+
+  /// Base-station handoffs performed, and how many of them abandoned an
+  /// in-progress stable write (too slow to drain within the gap).
+  std::uint64_t handoffs() const { return handoffs_; }
+  std::uint64_t handoff_aborted_writes() const {
+    return handoff_aborted_writes_;
+  }
   /// Masked/detected/silent adjudication summed over every node's lanes.
   LaneStats lane_stats() const;
 
@@ -200,6 +232,8 @@ class System {
   std::uint64_t at_failures_ = 0;
   std::uint64_t lane_rollbacks_ = 0;
   std::uint64_t unprotected_flips_ = 0;
+  std::uint64_t handoffs_ = 0;
+  std::uint64_t handoff_aborted_writes_ = 0;
   bool lane_rollback_pending_ = false;
   std::vector<HwRecoveryStats> hw_recoveries_;
   std::optional<SwRecoveryStats> sw_recovery_;

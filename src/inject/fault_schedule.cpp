@@ -14,8 +14,19 @@ const char* to_string(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kBlackoutEnd: return "blackout_end";
     case FaultEvent::Kind::kLaneFlip: return "lane_flip";
     case FaultEvent::Kind::kSigFault: return "sig_fault";
+    case FaultEvent::Kind::kLinkDown: return "link_down";
+    case FaultEvent::Kind::kLinkUp: return "link_up";
+    case FaultEvent::Kind::kHandoff: return "handoff";
   }
   return "?";
+}
+
+std::optional<FaultEvent::Kind> fault_event_kind_from_string(
+    std::string_view name) {
+  for (FaultEvent::Kind k : kAllFaultEventKinds) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -76,6 +87,42 @@ void add_lane_poisson(std::vector<FaultEvent>& out, Rng& rng,
   }
 }
 
+/// Disconnection epochs: each arrival picks a node, an epoch length, a
+/// direction (rx-only / tx-only / both — asymmetric link quality) and a
+/// severity (full blackout vs. degraded bursty link), and emits the paired
+/// kLinkDown / kLinkUp events. Epochs may overlap on one node; the link
+/// state applies last-writer-wins and kLinkUp restores fully, which is the
+/// chaos the family is after.
+void add_disconnect_epochs(std::vector<FaultEvent>& out, Rng& rng,
+                           const MobileFaultRates& mobile, TimePoint start,
+                           Duration horizon, Duration margin,
+                           std::uint32_t n_targets) {
+  if (mobile.disconnect_mean_gap <= Duration::zero()) return;
+  const TimePoint lo = start + margin;
+  const TimePoint hi = start + horizon - margin;
+  TimePoint t = lo + rng.exponential(mobile.disconnect_mean_gap);
+  while (t < hi) {
+    FaultEvent down;
+    down.kind = FaultEvent::Kind::kLinkDown;
+    down.at = t;
+    down.target = n_targets > 0 ? static_cast<std::uint32_t>(
+                                      rng.uniform_int(0, n_targets - 1))
+                                : 0;
+    const std::int64_t dir = rng.uniform_int(0, 2);  // 0=rx, 1=tx, 2=both
+    down.noise = dir == 0 ? kLinkRx : dir == 1 ? kLinkTx : (kLinkRx | kLinkTx);
+    if (rng.bernoulli(mobile.disconnect_full_fraction)) down.noise |= kLinkFull;
+    down.drift = mobile.disconnect_burst_loss;
+    const Duration len = rng.exponential(mobile.disconnect_mean_len);
+    FaultEvent up;
+    up.kind = FaultEvent::Kind::kLinkUp;
+    up.at = t + len;
+    up.target = down.target;
+    out.push_back(down);
+    out.push_back(up);
+    t += rng.exponential(mobile.disconnect_mean_gap);
+  }
+}
+
 }  // namespace
 
 FaultSchedule FaultSchedule::generate(std::uint64_t seed,
@@ -110,6 +157,14 @@ FaultSchedule FaultSchedule::generate(std::uint64_t seed,
   add_lane_poisson(s.events_, rng, FaultEvent::Kind::kSigFault,
                    rates.timed.sig_fault_mean_gap, start, horizon, margin,
                    n_targets);
+  // The mobile family rides after everything above for the same reason:
+  // with its default zero rates it draws nothing and pre-existing
+  // schedules stay bit-identical.
+  add_disconnect_epochs(s.events_, rng, rates.mobile, start, horizon, margin,
+                        n_targets);
+  add_poisson(s.events_, rng, FaultEvent::Kind::kHandoff,
+              rates.mobile.handoff_mean_gap, start, horizon, margin, n_targets,
+              0.0, Duration::zero(), FaultEvent::Kind::kHandoff);
 
   std::stable_sort(s.events_.begin(), s.events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -152,13 +207,28 @@ std::string FaultSchedule::to_json() const {
       rates_.timed.lane_flip_mean_gap.to_seconds(),
       rates_.timed.sig_fault_mean_gap.to_seconds());
   out += buf;
+  // Mobile rates only when the family is armed: schedules without it keep
+  // their pre-mobile JSON byte for byte.
+  if (rates_.mobile.any()) {
+    std::snprintf(
+        buf, sizeof buf,
+        "\"mobile\":{\"disconnect_gap_s\":%g,\"disconnect_len_s\":%g,"
+        "\"burst_loss\":%g,\"full_fraction\":%g,\"handoff_gap_s\":%g},",
+        rates_.mobile.disconnect_mean_gap.to_seconds(),
+        rates_.mobile.disconnect_mean_len.to_seconds(),
+        rates_.mobile.disconnect_burst_loss,
+        rates_.mobile.disconnect_full_fraction,
+        rates_.mobile.handoff_mean_gap.to_seconds());
+    out += buf;
+  }
   out += "\"events\":[";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const FaultEvent& ev = events_[i];
     const bool lane_kind = ev.kind == FaultEvent::Kind::kLaneFlip ||
                            ev.kind == FaultEvent::Kind::kSigFault;
-    const bool closed =
-        ev.kind != FaultEvent::Kind::kDriftExcursion && !lane_kind;
+    const bool link_down = ev.kind == FaultEvent::Kind::kLinkDown;
+    const bool closed = ev.kind != FaultEvent::Kind::kDriftExcursion &&
+                        !lane_kind && !link_down;
     std::snprintf(buf, sizeof buf,
                   "%s{\"t\":%.6f,\"kind\":\"%s\",\"target\":%u%s",
                   i ? "," : "", ev.at.to_seconds(), to_string(ev.kind),
@@ -170,6 +240,10 @@ std::string FaultSchedule::to_json() const {
     } else if (lane_kind) {
       std::snprintf(buf, sizeof buf, ",\"lane\":%u,\"noise\":%llu}", ev.lane,
                     static_cast<unsigned long long>(ev.noise));
+      out += buf;
+    } else if (link_down) {
+      std::snprintf(buf, sizeof buf, ",\"flags\":%llu,\"loss\":%g}",
+                    static_cast<unsigned long long>(ev.noise), ev.drift);
       out += buf;
     }
   }

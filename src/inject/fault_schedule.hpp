@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -47,11 +49,38 @@ struct TimedFaultRates {
   Duration sig_fault_mean_gap = Duration::zero();
 };
 
+/// The mobile/intermittent-connectivity mission family: per-node link
+/// epochs with *correlated* (bursty) loss, asymmetric per-direction
+/// quality, and base-station handoffs that re-home a node's stable store
+/// mid-mission. Disconnection epochs are long-lived link states, not
+/// i.i.d. per-message drops — exactly the failure shape the Poisson
+/// network model never produces.
+struct MobileFaultRates {
+  /// Mean gap between disconnection-epoch starts (0 = family off).
+  Duration disconnect_mean_gap = Duration::zero();
+  /// Mean epoch length (exponential draw per epoch).
+  Duration disconnect_mean_len = Duration::seconds(15);
+  /// Stationary loss fraction of a *degraded* (non-blackout) epoch; the
+  /// Gilbert-Elliott burst chain in FaultyNetwork realizes it with a mean
+  /// burst length of several consecutive messages.
+  double disconnect_burst_loss = 0.9;
+  /// P(an epoch is a full blackout) vs. a degraded bursty link.
+  double disconnect_full_fraction = 0.5;
+  /// Mean gap between base-station handoffs (0 = none).
+  Duration handoff_mean_gap = Duration::zero();
+
+  bool any() const {
+    return disconnect_mean_gap > Duration::zero() ||
+           handoff_mean_gap > Duration::zero();
+  }
+};
+
 /// Everything the adversary is allowed to do in one mission.
 struct InjectorRates {
   NetFaultParams net;
   StorageFaultParams storage;
   TimedFaultRates timed;
+  MobileFaultRates mobile;
 };
 
 struct FaultEvent {
@@ -63,16 +92,39 @@ struct FaultEvent {
     kBlackoutEnd,      ///< ...until here.
     kLaneFlip,         ///< Flip state bit `noise` of lane `lane` on `target`.
     kSigFault,         ///< Corrupt lane `lane`'s CFCSS signature on `target`.
+    kLinkDown,         ///< Disconnection epoch starts on `target`'s link.
+                       ///< `noise` packs direction/severity (kLinkRx etc.),
+                       ///< `drift` carries the epoch's burst-loss fraction.
+    kLinkUp,           ///< Epoch over: restore `target`'s link.
+    kHandoff,          ///< Base-station handoff: re-home `target`'s store.
   };
   Kind kind;
   TimePoint at;
   std::uint32_t target = 0;  ///< Node/process index, when applicable.
-  double drift = 0.0;        ///< Excursion drift rate, when applicable.
+  double drift = 0.0;        ///< Excursion drift / epoch burst loss.
   std::uint32_t lane = 0;    ///< Execution lane (lane-fault kinds).
-  std::uint64_t noise = 0;   ///< Bit-position / corruption word.
+  std::uint64_t noise = 0;   ///< Bit-position / corruption / link flags.
+};
+
+/// kLinkDown flag bits packed into FaultEvent::noise.
+inline constexpr std::uint64_t kLinkRx = 1;    ///< Receive direction hit.
+inline constexpr std::uint64_t kLinkTx = 2;    ///< Transmit direction hit.
+inline constexpr std::uint64_t kLinkFull = 4;  ///< Blackout (else bursty).
+
+/// All event kinds, declaration order (round-trip tests, JSON readers).
+inline constexpr FaultEvent::Kind kAllFaultEventKinds[] = {
+    FaultEvent::Kind::kHwFault,       FaultEvent::Kind::kDriftExcursion,
+    FaultEvent::Kind::kDriftRestore,  FaultEvent::Kind::kBlackoutStart,
+    FaultEvent::Kind::kBlackoutEnd,   FaultEvent::Kind::kLaneFlip,
+    FaultEvent::Kind::kSigFault,      FaultEvent::Kind::kLinkDown,
+    FaultEvent::Kind::kLinkUp,        FaultEvent::Kind::kHandoff,
 };
 
 const char* to_string(FaultEvent::Kind kind);
+/// Parse a kind name as printed by to_string. Returns nullopt for unknown
+/// names — JSON readers must reject stale spellings loudly.
+std::optional<FaultEvent::Kind> fault_event_kind_from_string(
+    std::string_view name);
 
 /// The deterministic timed-event list for one mission.
 class FaultSchedule {

@@ -1,15 +1,120 @@
 #include "inject/faulty_network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace synergy {
+
+namespace {
+
+/// Mean Gilbert-Elliott burst length in messages: long enough that a
+/// degraded epoch loses *runs* of consecutive traffic (resend clusters,
+/// whole checkpoint exchanges), not isolated messages.
+constexpr double kMeanBurstMessages = 6.0;
+
+}  // namespace
 
 FaultyNetwork::FaultyNetwork(Simulator& sim, const NetworkParams& params,
                              const NetFaultParams& faults, Rng rng)
     : Network(sim, params, rng.split()), faults_(faults),
       fault_rng_(rng.split()) {}
 
+void FaultyNetwork::set_link_down(ProcessId p, bool rx, bool tx, bool full,
+                                  double burst_loss) {
+  LinkState& link = links_[p];
+  link.rx = LinkDirection{};
+  link.tx = LinkDirection{};
+  if (rx) (full ? link.rx.down : link.rx.degraded) = true;
+  if (tx) (full ? link.tx.down : link.tx.degraded) = true;
+  link.burst_loss = burst_loss;
+  ++link_epochs_;
+}
+
+void FaultyNetwork::set_link_up(ProcessId p) {
+  LinkState& link = links_[p];
+  link.rx = LinkDirection{};
+  link.tx = LinkDirection{};
+  link.last_restored = sim().now();
+}
+
+bool FaultyNetwork::link_impaired(ProcessId p) const {
+  const auto it = links_.find(p);
+  return it != links_.end() && it->second.impaired();
+}
+
+TimePoint FaultyNetwork::link_last_restored(ProcessId p) const {
+  const auto it = links_.find(p);
+  return it != links_.end() ? it->second.last_restored : TimePoint::origin();
+}
+
+bool FaultyNetwork::burst_chain_drops(LinkDirection& dir, double burst_loss) {
+  // Two-state Markov chain advanced per message: mean burst length L fixes
+  // the exit probability; the entry probability is chosen so the
+  // stationary loss fraction equals the epoch's target. Messages falling
+  // while the chain is in the loss state are dropped — consecutive drops
+  // in runs of mean length L, unlike any Bernoulli roll. High targets can
+  // demand an entry probability above 1 (gaps shorter than one message);
+  // clamping saturates the achievable loss at L/(L+1).
+  const double p_exit = 1.0 / kMeanBurstMessages;
+  const double p_enter =
+      burst_loss >= 1.0
+          ? 1.0
+          : std::min(1.0, burst_loss * p_exit / (1.0 - burst_loss));
+  if (dir.bursting) {
+    if (fault_rng_.bernoulli(p_exit)) {
+      dir.bursting = false;
+      return false;  // the burst just ended: this message gets through
+    }
+    return true;
+  }
+  if (fault_rng_.bernoulli(p_enter)) {
+    dir.bursting = true;
+    return true;
+  }
+  return false;
+}
+
+bool FaultyNetwork::link_drops(const Message& m) {
+  // Sender's transmit side first (the message never leaves the node), then
+  // the receiver's side. The device is not a mobile node and never
+  // has link state.
+  if (auto it = links_.find(m.sender); it != links_.end()) {
+    LinkState& link = it->second;
+    if (link.tx.down) {
+      ++disconnect_drops_;
+      return true;
+    }
+    if (link.tx.degraded && burst_chain_drops(link.tx, link.burst_loss)) {
+      ++burst_drops_;
+      return true;
+    }
+  }
+  if (auto it = links_.find(m.receiver); it != links_.end()) {
+    LinkState& link = it->second;
+    if (link.rx.down) {
+      ++disconnect_drops_;
+      return true;
+    }
+    if (link.rx.degraded && burst_chain_drops(link.rx, link.burst_loss)) {
+      ++burst_drops_;
+      return true;
+    }
+  }
+  return false;
+}
+
 void FaultyNetwork::send(Message m) {
+  // Link state is checked before the per-message fault rolls: a parked
+  // link loses the message whatever the Bernoulli stream would have said,
+  // and an empty link map draws nothing — missions without the mobile
+  // family keep their fault streams bit-identical.
+  if (!links_.empty() && link_drops(m)) {
+    m.sent_at = sim().now();
+    count_sent();
+    count_dropped();
+    return;
+  }
+
   if (!faults_.any()) {
     Network::send(std::move(m));
     return;

@@ -17,9 +17,20 @@
 // At most one fault is applied per message; rolls are evaluated in the
 // order above. All randomness comes from the injected Rng, so a campaign
 // seed reproduces the exact fault pattern.
+//
+// On top of the per-message rolls the decorator carries *link state* for
+// the mobile/intermittent-connectivity mission family: per-process,
+// per-direction disconnection epochs. A direction is either fully down
+// (blackout: every message crossing it is dropped) or degraded, where a
+// two-state Gilbert-Elliott chain produces *correlated* burst loss —
+// several consecutive messages vanish, then a run gets through — instead
+// of memoryless drops. Link checks run before the per-message fault rolls
+// and draw nothing from the fault stream while no link is impaired, so
+// missions without the mobile family keep bit-identical fault streams.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "net/network.hpp"
 
@@ -49,6 +60,28 @@ class FaultyNetwork final : public Network {
 
   void send(Message m) override;
 
+  // ---- Mobile link state -------------------------------------------------
+  /// Begin (or re-shape) a disconnection epoch on `p`'s link. `rx` / `tx`
+  /// select the impaired directions (asymmetric quality); `full` makes the
+  /// impaired directions a blackout, otherwise they degrade to correlated
+  /// burst loss with stationary fraction `burst_loss`.
+  void set_link_down(ProcessId p, bool rx, bool tx, bool full,
+                     double burst_loss);
+  /// Epoch over: restore `p`'s link in both directions.
+  void set_link_up(ProcessId p);
+  /// Is either direction of `p`'s link currently impaired?
+  bool link_impaired(ProcessId p) const;
+  /// When `p`'s link last returned to service (origin if never impaired).
+  /// Lets the monitor defer bound violations for traffic that was in
+  /// flight (or parked unacked) during a declared epoch.
+  TimePoint link_last_restored(ProcessId p) const;
+
+  std::uint64_t link_epochs() const { return link_epochs_; }
+  /// Messages dropped by a blackout direction.
+  std::uint64_t disconnect_drops() const { return disconnect_drops_; }
+  /// Messages dropped by the Gilbert-Elliott burst chain.
+  std::uint64_t burst_drops() const { return burst_drops_; }
+
   // ---- Injection statistics ---------------------------------------------
   std::uint64_t injected_drops() const { return drops_; }
   std::uint64_t injected_duplicates() const { return duplicates_; }
@@ -64,8 +97,36 @@ class FaultyNetwork final : public Network {
   }
 
  private:
+  /// One direction of one process's link during a disconnection epoch.
+  struct LinkDirection {
+    bool down = false;      ///< Blackout: drop everything.
+    bool degraded = false;  ///< Bursty: Gilbert-Elliott loss.
+    bool bursting = false;  ///< Chain state (inside a loss burst).
+  };
+  struct LinkState {
+    LinkDirection rx;
+    LinkDirection tx;
+    double burst_loss = 0.0;
+    TimePoint last_restored = TimePoint::origin();
+    bool impaired() const {
+      return rx.down || rx.degraded || tx.down || tx.degraded;
+    }
+  };
+
+  /// Advance `dir`'s burst chain one message and decide its fate. Mean
+  /// burst length is kMeanBurstMessages; entry probability is derived so
+  /// the stationary loss fraction matches `burst_loss`.
+  bool burst_chain_drops(LinkDirection& dir, double burst_loss);
+  /// True iff the link states say this message must be dropped (advances
+  /// burst chains as a side effect).
+  bool link_drops(const Message& m);
+
   NetFaultParams faults_;
   Rng fault_rng_;
+  std::unordered_map<ProcessId, LinkState> links_;
+  std::uint64_t link_epochs_ = 0;
+  std::uint64_t disconnect_drops_ = 0;
+  std::uint64_t burst_drops_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t reorders_ = 0;

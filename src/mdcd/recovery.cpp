@@ -37,6 +37,14 @@ SwRecoveryStats SoftwareRecoveryManager::recover(ProcessId detector,
       {&p2_, &stats.p2_rolled_back, &stats.p2_rollback_distance},
   };
   for (const auto& s : survivors) {
+    if (!s.engine->alive()) {
+      // A hardware-crashed survivor has no volatile checkpoint (RAM is
+      // gone) and its state is about to be rebuilt from stable storage by
+      // hardware recovery anyway; rolling it back here would double-recover
+      // it. Its dirty bit, if set, rides along in the stable record.
+      *s.rolled_back = false;
+      continue;
+    }
     if (s.engine->dirty()) {
       // A dirty process always has a volatile checkpoint: Type-1 was
       // established immediately before it became dirty.

@@ -136,6 +136,9 @@ class ReliableEndpoint final : public Transport {
     return core_.duplicates_suppressed();
   }
   std::size_t unacked_count() const { return core_.unacked_count(); }
+  std::size_t unacked_high_water() const {
+    return core_.unacked_high_water();
+  }
 
  private:
   void on_network_delivery(const Message& m);

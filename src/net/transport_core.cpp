@@ -14,6 +14,7 @@ Message TransportCore::prepare_send(Message m) {
   // messages are fire-and-forget because the external world never replies.
   if (m.kind != MsgKind::kAck && m.receiver != kDeviceId) {
     unacked_.emplace(m.transport_seq, m);
+    unacked_high_water_ = std::max(unacked_high_water_, unacked_.size());
   }
   return m;
 }
@@ -55,6 +56,7 @@ void TransportCore::restore_unacked(const std::vector<Message>& msgs) {
     next_transport_seq_ = std::max(next_transport_seq_, m.transport_seq + 1);
     unacked_.emplace(m.transport_seq, m);
   }
+  unacked_high_water_ = std::max(unacked_high_water_, unacked_.size());
   ++version_;  // next_transport_seq_ may have moved
 }
 

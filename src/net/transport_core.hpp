@@ -59,6 +59,10 @@ class TransportCore {
   const SharedBytes& snapshot_state_shared() const;
 
   std::size_t unacked_count() const { return unacked_.size(); }
+  /// Largest unacked-log size ever observed: the monitor's unacked-bound
+  /// audit and the campaign report use this to show how far a multi-epoch
+  /// partition pushed the log.
+  std::size_t unacked_high_water() const { return unacked_high_water_; }
   std::uint64_t duplicates_suppressed() const { return dups_; }
   std::uint64_t snapshot_cache_hits() const { return cache_.hits(); }
   std::uint64_t snapshot_cache_misses() const { return cache_.misses(); }
@@ -72,6 +76,7 @@ class TransportCore {
   std::uint64_t version_ = 0;
   // Ordered containers keep snapshots and checkpoints deterministic.
   std::map<std::uint64_t, Message> unacked_;
+  std::size_t unacked_high_water_ = 0;
   std::map<ProcessId, std::set<std::uint64_t>> consumed_;
   mutable std::uint64_t dups_ = 0;
   mutable SnapshotCache cache_;

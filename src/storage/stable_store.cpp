@@ -196,6 +196,40 @@ void StableStore::discard_above(StableSeq ndc) {
                 [ndc](const Committed& c) { return c.ndc > ndc; });
 }
 
+StableStore::HandoffOutcome StableStore::handoff(std::size_t keep_depth,
+                                                 Duration drain_window) {
+  HandoffOutcome out;
+  ++handoffs_;
+  if (in_progress_) {
+    if (in_progress_->expected_commit <= sim_.now() + drain_window) {
+      // The write finishes before the old station goes out of reach:
+      // leave it running (its commit lands in the migrated history, since
+      // retention below only truncates what exists *now*).
+      out.write_drained = true;
+    } else {
+      // Too slow to drain: abandon it and park the record for the write
+      // watchdog, which forces the same contents through at the new home
+      // — the checkpoint built at the interval boundary is preserved, not
+      // re-fabricated from a later state.
+      sim_.cancel(in_progress_->handle);
+      ++failed_writes_;
+      abandoned_ = std::move(in_progress_->record);
+      in_progress_.reset();
+      out.write_abandoned = true;
+    }
+  }
+  // Migrate newest-first up to the transfer budget; older records stay at
+  // the old station and are lost to this process.
+  if (history_.size() > keep_depth) {
+    out.dropped = history_.size() - keep_depth;
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(out.dropped));
+  }
+  out.migrated = history_.size();
+  return out;
+}
+
 void StableStore::crash_abort_in_progress() {
   if (!in_progress_) return;
   sim_.cancel(in_progress_->handle);

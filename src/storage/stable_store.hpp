@@ -139,6 +139,31 @@ class StableStore {
   /// survives.
   void crash_abort_in_progress();
 
+  /// Outcome of a base-station handoff re-homing this store.
+  struct HandoffOutcome {
+    /// An in-progress write was close enough to completion to drain.
+    bool write_drained = false;
+    /// An in-progress write could not drain within the gap and was
+    /// abandoned (claimable via take_abandoned(), like a retry-exhausted
+    /// write — the watchdog forces it through post-handoff).
+    bool write_abandoned = false;
+    std::size_t migrated = 0;  ///< Checkpoint records copied to the new home.
+    std::size_t dropped = 0;   ///< Old records not worth migrating.
+  };
+
+  /// Base-station handoff (mobile missions): the process re-homes its
+  /// stable store to a new station mid-mission. An in-progress write is
+  /// *drained* — left to finish — iff it would commit within
+  /// `drain_window` (the handoff gap the old station stays reachable);
+  /// otherwise it is abandoned and parked for the write watchdog, which
+  /// forces the very record through at the new home. The checkpoint
+  /// history migrates newest-first up to `keep_depth` records; older ones
+  /// are dropped (the transfer budget), which is what can force the
+  /// post-handoff recovery line to be re-derived.
+  HandoffOutcome handoff(std::size_t keep_depth, Duration drain_window);
+
+  std::uint64_t handoffs() const { return handoffs_; }
+
   /// The record of the most recently abandoned write (retry budget
   /// exhausted), handed over at most once. The stable-write watchdog
   /// claims it and degrades to a forced write-through commit, so the
@@ -210,6 +235,7 @@ class StableStore {
   std::uint64_t latent_corruptions_ = 0;
   mutable std::uint64_t corrupt_reads_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t handoffs_ = 0;
 };
 
 }  // namespace synergy

@@ -54,6 +54,11 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kLaneResync: return "lane_resync";
     case TraceKind::kSigMismatch: return "sig_mismatch";
     case TraceKind::kConfidenceLoss: return "confidence_loss";
+    case TraceKind::kLinkDown: return "link_down";
+    case TraceKind::kLinkUp: return "link_up";
+    case TraceKind::kHandoff: return "handoff";
+    case TraceKind::kDisconnectDeferral: return "disconnect_deferral";
+    case TraceKind::kAbftScrub: return "abft_scrub";
   }
   return "?";
 }

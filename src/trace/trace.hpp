@@ -67,6 +67,13 @@ enum class TraceKind : std::uint8_t {
   kLaneResync,      ///< Parked/replica lanes re-synced (a=lane count).
   kSigMismatch,     ///< CFCSS signature chain broke (a=lane).
   kConfidenceLoss,  ///< Signature coverage lost; MDCD treats it like a failed AT.
+  // ---- Mobile/intermittent-connectivity mission family --------------------
+  kLinkDown,        ///< Disconnection epoch began (a=direction/severity flags).
+  kLinkUp,          ///< Disconnection epoch ended; link restored.
+  kHandoff,         ///< Base-station handoff re-homed the stable store (a=migrated).
+  kDisconnectDeferral,  ///< Violation deferred: declared disconnection epoch.
+  // ---- ABFT computed-coverage workload ------------------------------------
+  kAbftScrub,       ///< Sweep found a damaged block encoding (a=node).
 };
 
 const char* to_string(TraceKind kind);

@@ -1,0 +1,235 @@
+// ABFT computed-coverage workload: the checksum-encoded block state, the
+// computed AT verdict, and the campaign-level assumed-vs-computed coverage
+// divergence. The load-bearing claims:
+//
+//  - every legitimate update (messages, local steps) maintains the row and
+//    column checksums, so a clean state always passes the self-check;
+//  - a raw bit flip breaks a row+column pair and is caught;
+//  - a checksum-consistent wrong value (design fault, or taint arriving
+//    through a correctly-applied message) passes — the encoding's honest
+//    blind spot, which is what makes coverage a *measured* output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "app/acceptance_test.hpp"
+#include "app/state.hpp"
+#include "core/campaign.hpp"
+
+namespace synergy {
+namespace {
+
+TEST(WorkloadKindTest, ToStringFromStringRoundTripsExhaustively) {
+  for (WorkloadKind k : kAllWorkloadKinds) {
+    const auto back = workload_kind_from_string(to_string(k));
+    ASSERT_TRUE(back.has_value()) << to_string(k);
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(workload_kind_from_string("bogus").has_value());
+  EXPECT_FALSE(workload_kind_from_string("").has_value());
+  EXPECT_FALSE(workload_kind_from_string("Registers").has_value());
+}
+
+TEST(AbftStateTest, FreshStateIsEncodedConsistently) {
+  ApplicationState s(42, WorkloadKind::kAbft);
+  EXPECT_EQ(s.mode(), WorkloadKind::kAbft);
+  EXPECT_TRUE(s.abft_check_ok());
+  EXPECT_FALSE(s.tainted());
+}
+
+TEST(AbftStateTest, LegitimateUpdatesMaintainTheEncoding) {
+  ApplicationState s(7, WorkloadKind::kAbft);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    s.apply_message(i * 0x9e3779b9u, /*payload_tainted=*/false);
+    s.local_step(i);
+    ASSERT_TRUE(s.abft_check_ok()) << "update " << i;
+  }
+  EXPECT_FALSE(s.tainted());
+}
+
+TEST(AbftStateTest, RawBitFlipBreaksTheEncoding) {
+  // Sweep noise words that land on every encoded word class: block cells,
+  // row sums, and column sums are all protected.
+  for (std::uint64_t word = 0; word < 24; ++word) {
+    ApplicationState s(word + 1, WorkloadKind::kAbft);
+    const std::uint64_t noise = (word << 6) | (word % 64);
+    s.flip_bit(noise);
+    EXPECT_FALSE(s.abft_check_ok()) << "word " << word;
+    EXPECT_TRUE(s.tainted());
+  }
+}
+
+TEST(AbftStateTest, ChecksumConsistentCorruptionIsTheBlindSpot) {
+  ApplicationState s(3, WorkloadKind::kAbft);
+  s.corrupt(0xdeadbeefcafe1234u);
+  EXPECT_TRUE(s.tainted());
+  // The design fault applied a *wrong* value through the legitimate update
+  // path, so the encoding still validates: ABFT cannot see it.
+  EXPECT_TRUE(s.abft_check_ok());
+}
+
+TEST(AbftStateTest, TaintedMessagePropagatesTaintButKeepsEncoding) {
+  ApplicationState s(5, WorkloadKind::kAbft);
+  s.apply_message(99, /*payload_tainted=*/true);
+  EXPECT_TRUE(s.tainted());
+  EXPECT_TRUE(s.abft_check_ok());
+}
+
+TEST(AbftStateTest, SnapshotRestoreRoundTripsBlockState) {
+  ApplicationState s(11, WorkloadKind::kAbft);
+  for (std::uint64_t i = 0; i < 50; ++i) s.local_step(i);
+  const Bytes snap = s.snapshot();
+
+  ApplicationState t(0, WorkloadKind::kAbft);
+  t.restore(snap);
+  EXPECT_TRUE(t.equals(s));
+  EXPECT_TRUE(t.abft_check_ok());
+
+  // A flip after the snapshot must not leak into the restored copy.
+  s.flip_bit(123);
+  EXPECT_FALSE(s.equals(t));
+  EXPECT_TRUE(t.abft_check_ok());
+}
+
+TEST(AbftStateTest, RegistersSnapshotLayoutIsUnchanged) {
+  // The registers-mode encoding predates the ABFT variant; its byte layout
+  // is pinned so pre-mobile replay seeds keep reproducing bit-for-bit.
+  ApplicationState s(1);
+  EXPECT_EQ(s.snapshot().size(), 8u * 8u + 8u + 1u);
+  ApplicationState a(1, WorkloadKind::kAbft);
+  EXPECT_EQ(a.snapshot().size(), (16u + 8u) * 8u + 8u + 1u);
+}
+
+TEST(AbftStateTest, OutputDependsOnBlockContent) {
+  ApplicationState a(1, WorkloadKind::kAbft);
+  ApplicationState b(1, WorkloadKind::kAbft);
+  EXPECT_EQ(a.output(), b.output());
+  a.local_step(77);
+  EXPECT_NE(a.output(), b.output());
+}
+
+TEST(AcceptanceTestCheckerTest, CheckerOverridesProbabilisticVerdict) {
+  // coverage=0 would never fail probabilistically; the checker must decide.
+  AcceptanceTest at(AtParams{0.0, 0.0}, Rng(1));
+  bool verdict = false;
+  at.set_checker([&] { return verdict; });
+
+  // Tainted state, checker fails the test: a real (computed) detection.
+  EXPECT_FALSE(at.run(/*message_tainted=*/true));
+  EXPECT_EQ(at.failures(), 1u);
+  EXPECT_EQ(at.missed_detections(), 0u);
+
+  // Tainted state, checker passes: a measured missed detection.
+  verdict = true;
+  EXPECT_TRUE(at.run(/*message_tainted=*/true));
+  EXPECT_EQ(at.missed_detections(), 1u);
+
+  // Clean state, checker fails: a measured false alarm.
+  verdict = false;
+  EXPECT_FALSE(at.run(/*message_tainted=*/false));
+  EXPECT_EQ(at.false_alarms(), 1u);
+
+  // Clean state, checker passes: nothing counted.
+  verdict = true;
+  EXPECT_TRUE(at.run(/*message_tainted=*/false));
+  EXPECT_EQ(at.passes(), 2u);
+  EXPECT_EQ(at.failures(), 2u);
+  EXPECT_EQ(at.missed_detections(), 1u);
+  EXPECT_EQ(at.false_alarms(), 1u);
+}
+
+CampaignConfig abft_campaign() {
+  CampaignConfig config;
+  config.seed = 1;
+  config.reps = 10;
+  config.mission = Duration::seconds(120);
+  config.base.workload.kind = WorkloadKind::kAbft;
+  return config;
+}
+
+TEST(AbftCampaignTest, DesignFaultTaintDivergesComputedCoverageToZero) {
+  // Default chaos adversity taints state only through checksum-consistent
+  // paths (design-fault corrupt(), propagated taint), so the computed
+  // coverage collapses to zero while the assumed input coverage is 1.0 —
+  // the divergence the ABFT family exists to measure.
+  const CampaignConfig config = abft_campaign();
+  const CampaignResult result = run_campaign(config, nullptr);
+
+  std::uint64_t exposures = 0, detected = 0, missed = 0, false_alarms = 0;
+  for (const MissionReport& r : result.missions) {
+    EXPECT_TRUE(r.ok) << "seed " << r.seed;
+    exposures += r.at_exposures;
+    detected += r.at_detected;
+    missed += r.at_missed;
+    false_alarms += r.at_false_alarms;
+  }
+  ASSERT_GT(exposures, 0u);
+  EXPECT_EQ(detected, 0u);
+  EXPECT_EQ(missed, exposures);
+  // Valid encodings never fail the computed check.
+  EXPECT_EQ(false_alarms, 0u);
+  const double computed =
+      static_cast<double>(detected) / static_cast<double>(exposures);
+  EXPECT_LT(computed, config.base.at.coverage);
+}
+
+TEST(AbftCampaignTest, RawFlipsAreComputedDetections) {
+  // Arm the COAST state-flip stream on the single-lane scheme: flips land
+  // raw on the live block, and the computed verdict catches them (unlike
+  // the registers workload, where detection is an assumed-coverage draw).
+  // Individual missions may fail — unprotected flips are the no-redundancy
+  // baseline — but the coverage tallies are the measurement.
+  CampaignConfig config = abft_campaign();
+  config.rates.timed.lane_flip_mean_gap = Duration::seconds(40);
+  const CampaignResult result = run_campaign(config, nullptr);
+
+  std::uint64_t detected = 0, scrubs = 0;
+  for (const MissionReport& r : result.missions) {
+    detected += r.at_detected;
+    scrubs += r.monitor.abft_scrub_detections;
+  }
+  EXPECT_GT(detected, 0u);
+  // The monitor's between-AT scrub notices damaged encodings too.
+  EXPECT_GT(scrubs, 0u);
+}
+
+TEST(AbftCampaignTest, JobsFourMatchesJobsOneFieldForField) {
+  CampaignConfig seq_config = abft_campaign();
+  seq_config.rates.timed.lane_flip_mean_gap = Duration::seconds(60);
+  seq_config.verbose = true;
+  CampaignConfig par_config = seq_config;
+  seq_config.jobs = 1;
+  par_config.jobs = 4;
+
+  std::ostringstream seq_out, par_out;
+  const CampaignResult seq = run_campaign(seq_config, &seq_out);
+  const CampaignResult par = run_campaign(par_config, &par_out);
+  ASSERT_EQ(seq.missions.size(), par.missions.size());
+  for (std::size_t i = 0; i < seq.missions.size(); ++i) {
+    EXPECT_TRUE(seq.missions[i] == par.missions[i]) << "mission " << i;
+  }
+
+  // The verbose mission lines carry the coverage tallies; they must be
+  // byte-identical too (everything but the trailing timing: line).
+  std::string seq_text = seq_out.str(), par_text = par_out.str();
+  seq_text.resize(seq_text.rfind("timing:"));
+  par_text.resize(par_text.rfind("timing:"));
+  EXPECT_EQ(seq_text, par_text);
+}
+
+TEST(AbftCampaignTest, ReportEqualityCoversCoverageTallies) {
+  MissionReport a, b;
+  EXPECT_TRUE(a == b);
+  b.at_missed = 1;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.monitor.abft_scrub_detections = 2;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.monitor.disconnect_deferrals = 3;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace synergy

@@ -105,6 +105,18 @@ CHAOS OPTIONS
                       (default 0; COAST register/memory injection model)
   --sig-gap SECS      mean gap between per-lane CFCSS signature faults,
                       0=off (default 0)
+  --workload W        registers | abft (default registers). abft runs the
+                      checksum-encoded matrix-block workload: AT verdicts
+                      are computed from the block state, and the campaign
+                      reports assumed-vs-computed coverage
+  --disconnect-gap S  mean gap between disconnection epochs, 0=off
+                      (default 0; arms the mobile mission family)
+  --disconnect-len S  mean disconnection epoch length (default 15)
+  --disconnect-loss P stationary burst-loss fraction of a degraded epoch
+                      (default 0.9)
+  --disconnect-full P probability an epoch is a full blackout (default 0.5)
+  --handoff-gap SECS  mean gap between base-station handoffs, 0=off
+                      (default 0)
   --verbose           one summary line per mission
   A failing mission prints its seed and full schedule JSON; re-running
   with --replay SEED reproduces it exactly.
@@ -124,6 +136,39 @@ Scheme parse_scheme(const std::string& s) {
   if (const auto scheme = scheme_from_string(s)) return *scheme;
   std::fprintf(stderr, "unknown scheme: %s\n", s.c_str());
   usage(2);
+}
+
+WorkloadKind parse_workload(const std::string& s) {
+  if (const auto kind = workload_kind_from_string(s)) return *kind;
+  std::fprintf(stderr, "unknown workload: %s (expected registers | abft)\n",
+               s.c_str());
+  usage(2);
+}
+
+/// Parse `value` as a probability; reject anything outside [0, 1] with a
+/// clear error naming the flag.
+double parse_probability(const char* flag, const char* value) {
+  char* end = nullptr;
+  const double p = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(p >= 0.0 && p <= 1.0)) {
+    std::fprintf(stderr, "%s expects a probability in [0, 1], got \"%s\"\n",
+                 flag, value);
+    usage(2);
+  }
+  return p;
+}
+
+/// Parse `value` as a non-negative duration in seconds.
+Duration parse_seconds(const char* flag, const char* value) {
+  char* end = nullptr;
+  const double secs = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(secs >= 0.0)) {
+    std::fprintf(stderr,
+                 "%s expects a non-negative duration in seconds, got \"%s\"\n",
+                 flag, value);
+    usage(2);
+  }
+  return Duration::from_seconds(secs);
 }
 
 struct FaultSpec {
@@ -355,6 +400,12 @@ int cmd_chaos(int argc, char** argv) {
     else if (a == "--blackout-gap") config.rates.timed.resync_blackout_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
     else if (a == "--lane-gap") config.rates.timed.lane_flip_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
     else if (a == "--sig-gap") config.rates.timed.sig_fault_mean_gap = Duration::from_seconds(std::atof(arg_value(argc, argv, i)));
+    else if (a == "--workload") config.base.workload.kind = parse_workload(arg_value(argc, argv, i));
+    else if (a == "--disconnect-gap") config.rates.mobile.disconnect_mean_gap = parse_seconds("--disconnect-gap", arg_value(argc, argv, i));
+    else if (a == "--disconnect-len") config.rates.mobile.disconnect_mean_len = parse_seconds("--disconnect-len", arg_value(argc, argv, i));
+    else if (a == "--disconnect-loss") config.rates.mobile.disconnect_burst_loss = parse_probability("--disconnect-loss", arg_value(argc, argv, i));
+    else if (a == "--disconnect-full") config.rates.mobile.disconnect_full_fraction = parse_probability("--disconnect-full", arg_value(argc, argv, i));
+    else if (a == "--handoff-gap") config.rates.mobile.handoff_mean_gap = parse_seconds("--handoff-gap", arg_value(argc, argv, i));
     else if (a == "--trace-csv") config.trace_csv = arg_value(argc, argv, i);
     else if (a == "--verbose") config.verbose = true;
     else {
@@ -412,6 +463,36 @@ int cmd_chaos(int argc, char** argv) {
                   static_cast<unsigned long long>(r.lane_resyncs),
                   static_cast<unsigned long long>(r.sig_mismatches));
     }
+    if (config.rates.mobile.any() || r.link_epochs > 0) {
+      std::printf("mobile: link_epochs=%llu disc_drop=%llu burst_drop=%llu "
+                  "handoffs=%llu handoff_aborts=%llu unacked_hw=%llu "
+                  "deferred=%llu\n",
+                  static_cast<unsigned long long>(r.link_epochs),
+                  static_cast<unsigned long long>(r.disconnect_drops),
+                  static_cast<unsigned long long>(r.burst_drops),
+                  static_cast<unsigned long long>(r.handoffs),
+                  static_cast<unsigned long long>(r.handoff_aborted_writes),
+                  static_cast<unsigned long long>(r.unacked_high_water),
+                  static_cast<unsigned long long>(
+                      r.monitor.disconnect_deferrals));
+    }
+    if (config.base.workload.kind == WorkloadKind::kAbft) {
+      const double computed =
+          r.at_exposures == 0
+              ? 1.0
+              : static_cast<double>(r.at_detected) /
+                    static_cast<double>(r.at_exposures);
+      std::printf("abft: exposures=%llu detected=%llu missed=%llu "
+                  "false_alarms=%llu scrub=%llu cov_computed=%.3f "
+                  "cov_assumed=%.3f\n",
+                  static_cast<unsigned long long>(r.at_exposures),
+                  static_cast<unsigned long long>(r.at_detected),
+                  static_cast<unsigned long long>(r.at_missed),
+                  static_cast<unsigned long long>(r.at_false_alarms),
+                  static_cast<unsigned long long>(
+                      r.monitor.abft_scrub_detections),
+                  computed, config.base.at.coverage);
+    }
     for (const auto& f : r.failures) std::printf("  %s\n", f.c_str());
     if (!r.ok) std::printf("schedule: %s\n", r.schedule_json.c_str());
     return r.ok ? 0 : 1;
@@ -433,6 +514,10 @@ int cmd_chaos(int argc, char** argv) {
     std::uint64_t records = 0, encoded = 0, hits = 0, misses = 0, stable = 0;
     std::uint64_t lane_inj = 0, lane_masked = 0, lane_det = 0, lane_silent = 0,
                   lane_unprot = 0, lane_rb = 0;
+    std::uint64_t link_epochs = 0, disc_drops = 0, burst_drops = 0,
+                  handoffs = 0, handoff_aborts = 0, unacked_hw = 0,
+                  deferred = 0;
+    std::uint64_t at_exp = 0, at_det = 0, at_miss = 0, at_fa = 0;
     for (const MissionReport& r : result.missions) {
       records += r.ckpt_records;
       encoded += r.ckpt_bytes_encoded;
@@ -445,6 +530,17 @@ int cmd_chaos(int argc, char** argv) {
       lane_silent += r.lane_silent;
       lane_unprot += r.lane_unprotected;
       lane_rb += r.lane_rollbacks;
+      link_epochs += r.link_epochs;
+      disc_drops += r.disconnect_drops;
+      burst_drops += r.burst_drops;
+      handoffs += r.handoffs;
+      handoff_aborts += r.handoff_aborted_writes;
+      unacked_hw = std::max(unacked_hw, r.unacked_high_water);
+      deferred += r.monitor.disconnect_deferrals;
+      at_exp += r.at_exposures;
+      at_det += r.at_detected;
+      at_miss += r.at_missed;
+      at_fa += r.at_false_alarms;
     }
     writer.set_counter("ckpt_records_established", records);
     writer.set_counter("ckpt_bytes_encoded", encoded);
@@ -459,6 +555,25 @@ int cmd_chaos(int argc, char** argv) {
     writer.set_counter("lane_faults_silent", lane_silent);
     writer.set_counter("lane_faults_unprotected", lane_unprot);
     writer.set_counter("lane_rollbacks", lane_rb);
+    // Mobile-family counters (all zero unless the mobile rates are armed,
+    // keeping pre-mobile baselines comparable).
+    if (config.rates.mobile.any()) {
+      writer.set_counter("link_epochs", link_epochs);
+      writer.set_counter("disconnect_drops", disc_drops);
+      writer.set_counter("burst_drops", burst_drops);
+      writer.set_counter("handoffs", handoffs);
+      writer.set_counter("handoff_aborted_writes", handoff_aborts);
+      writer.set_counter("unacked_high_water", unacked_hw);
+      writer.set_counter("disconnect_deferrals", deferred);
+    }
+    // ABFT computed-coverage tallies: the campaign's measured answer to
+    // the assumed AT coverage input.
+    if (config.base.workload.kind == WorkloadKind::kAbft) {
+      writer.set_counter("at_exposures", at_exp);
+      writer.set_counter("at_detected", at_det);
+      writer.set_counter("at_missed", at_miss);
+      writer.set_counter("at_false_alarms", at_fa);
+    }
     if (!writer.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
