@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/system.hpp"
+#include "sweep/jsonfmt.hpp"
 
 namespace synergy::bench {
 
@@ -123,30 +124,28 @@ class BenchJsonWriter {
     counters_.emplace_back(std::move(name), value);
   }
 
+  /// Serialize with the shared byte-stable formatting helpers
+  /// (src/sweep/jsonfmt.hpp): same escaping and number rendering as the
+  /// `synergy-sweep-v1` emitter, fixed display precision the committed
+  /// baselines settled on.
   std::string to_json() const {
     std::string out = "{\n  \"schema\": \"synergy-bench-v1\",\n"
                       "  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const BenchJsonEntry& e = entries_[i];
-      char buf[512];
-      std::snprintf(buf, sizeof(buf),
-                    "    {\"name\": \"%s\", \"iterations\": %llu, "
-                    "\"ns_per_op\": %.3f, \"missions_per_sec\": %.4f}%s\n",
-                    e.name.c_str(),
-                    static_cast<unsigned long long>(e.iterations), e.ns_per_op,
-                    e.missions_per_sec, i + 1 < entries_.size() ? "," : "");
-      out += buf;
+      out += "    {\"name\": " + jsonfmt::quoted(e.name);
+      out += ", \"iterations\": " + jsonfmt::u64(e.iterations);
+      out += ", \"ns_per_op\": " + jsonfmt::fixed(e.ns_per_op, 3);
+      out += ", \"missions_per_sec\": " + jsonfmt::fixed(e.missions_per_sec, 4);
+      out += i + 1 < entries_.size() ? "},\n" : "}\n";
     }
     out += "  ]";
     if (!counters_.empty()) {
       out += ",\n  \"counters\": {\n";
       for (std::size_t i = 0; i < counters_.size(); ++i) {
-        char buf[256];
-        std::snprintf(buf, sizeof(buf), "    \"%s\": %llu%s\n",
-                      counters_[i].first.c_str(),
-                      static_cast<unsigned long long>(counters_[i].second),
-                      i + 1 < counters_.size() ? "," : "");
-        out += buf;
+        out += "    " + jsonfmt::quoted(counters_[i].first) + ": " +
+               jsonfmt::u64(counters_[i].second);
+        out += i + 1 < counters_.size() ? ",\n" : "\n";
       }
       out += "  }";
     }

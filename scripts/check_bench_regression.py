@@ -17,8 +17,11 @@ make the gate vacuously green, which always means a broken refresh. An
 empty CURRENT is caught by the missing-benchmark rule above.
 
 --strict NAME marks a benchmark as always-enforced: a regression in it
-fails the build even under --warn-only (repeatable; NAME must exist in
-BASELINE, else exit 2 — a typo would silently unguard the hot path).
+fails the build even under --warn-only (repeatable). NAME must exist in
+BOTH documents, else exit 2: absent from BASELINE it is a typo that would
+silently unguard the hot path; absent from CURRENT the guarded bench was
+dropped from the run entirely — that is a broken bench invocation, not a
+perf regression, and must never be soft-pedaled by --warn-only.
 Exit status: 0 clean, 1 regression (unless --warn-only), 2 usage/IO error.
 scripts/test_check_bench_regression.py self-tests these paths in CI.
 
@@ -76,6 +79,9 @@ def main():
     for name in args.strict:
         if name not in base:
             die(f"--strict {name}: not present in baseline {args.baseline}")
+        if name not in cur:
+            die(f"--strict {name}: not present in current run {args.current} "
+                "— the guarded benchmark was dropped, not merely regressed")
     slack = 1.0 + args.tolerance
 
     regressions = []

@@ -15,6 +15,11 @@ mkdir -p "$OUT"
 "$BUILD"/tools/synergy chaos --reps 10 --seed 1 --jobs 0 \
   --json "$OUT/BENCH_campaign.json"
 "$BUILD"/bench/bench_micro_json --quick --json "$OUT/BENCH_micro.json"
+# Sweep smoke cell: must match the ci.yml bench-regression invocation so
+# the strict name "sweep/cells=9/reps=100/duration=20s" stays guarded.
+"$BUILD"/tools/synergy sweep --seed 1 --reps 100 --duration 20 \
+  --schemes coordinated,mdcd+tmr,mdcd_only --fault-scales 1,2,4 \
+  --jobs 0 --quiet --out /dev/null --bench-json "$OUT/BENCH_sweep.json"
 
 echo
 echo "baselines refreshed:"

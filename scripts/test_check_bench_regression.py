@@ -5,6 +5,8 @@ contract end to end (as a subprocess, the way CI invokes it):
   * clean run                  -> 0
   * ns_per_op regression       -> 1, 0 with --warn-only
   * benchmark missing, incl. a CURRENT with an empty benchmarks list -> 1
+  * --strict name absent from BASELINE or CURRENT -> 2 (typo'd or dropped
+    guard, never excused by --warn-only)
   * empty BASELINE             -> 2 (vacuously-green gate is a broken refresh)
   * wrong schema / unreadable  -> 2
 
@@ -81,10 +83,15 @@ def main():
               run(tmp, b, doc([bench("a", 1000.0), bench("b", 50.0, mps=10.0)]),
                   "--warn-only", "--strict", "b"),
               0)
-        check("strict missing-from-current fails despite --warn-only",
+        check("strict missing-from-current is an explicit error (dropped "
+              "bench, not a regression)",
+              run(tmp, b, doc([bench("b", 50.0, mps=10.0)]),
+                  "--strict", "a"),
+              2)
+        check("strict missing-from-current not excused by --warn-only",
               run(tmp, b, doc([bench("b", 50.0, mps=10.0)]),
                   "--warn-only", "--strict", "a"),
-              1)
+              2)
         check("strict name absent from baseline is an explicit error",
               run(tmp, b, doc([bench("a", 100.0), bench("b", 50.0, mps=10.0)]),
                   "--strict", "zz"),

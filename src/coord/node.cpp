@@ -128,8 +128,10 @@ ProcessNode::ProcessNode(Role role, Simulator& sim, Network& net,
 void ProcessNode::start() {
   if (sstore_) {
     // Deployment-time initial checkpoint: every recoverable system boots
-    // with a committed stable state.
-    sstore_->commit_now(engine_->make_record(CkptKind::kStable));
+    // with a committed stable state. Keep a pristine in-memory copy (the
+    // ROM image) as the restore source of last resort.
+    boot_image_ = engine_->make_record(CkptKind::kStable);
+    sstore_->commit_now(boot_image_);
   }
   if (tb_) tb_->start();
 }
@@ -172,9 +174,18 @@ CheckpointRecord ProcessNode::restore_from_stable(
     }
     rec = sstore_->best_valid_at_most(*line_ndc);
   }
-  // The initial commit_now checkpoint makes an all-corrupt history (every
-  // retained record damaged independently) the only way to get here.
-  SYNERGY_ASSERT(rec.has_value());
+  if (!rec) {
+    // Every retained record is damaged — the initial commit_now checkpoint
+    // makes that an all-corrupt history, reachable only under extreme
+    // injected corruption rates (high fault-scale sweep cells). Restore
+    // the pristine boot image: the deepest possible rollback, surfaced to
+    // the oracles as such, never an unrecoverable node.
+    if (trace_) {
+      trace_->record(sim_.now(), id_, TraceKind::kCorruptRecord, "boot-image",
+                     boot_image_.ndc);
+    }
+    rec = boot_image_;
+  }
   // Records above the line were committed by the undone incarnation
   // (survivors checkpointing through the repair window): purge them.
   sstore_->discard_above(rec->ndc);

@@ -129,6 +129,12 @@ class ProcessNode {
 
   bool retired_ = false;
   bool crashed_ = false;
+  /// Pristine copy of the deployment-time boot checkpoint — conceptually
+  /// the ROM/firmware image, beyond the reach of the storage injectors.
+  /// Last-resort restore source when every retained stable record is
+  /// damaged (reachable only under extreme injected corruption rates):
+  /// maximal rollback instead of an unrecoverable node.
+  CheckpointRecord boot_image_;
 };
 
 }  // namespace synergy

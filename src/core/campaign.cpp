@@ -212,6 +212,16 @@ MissionReport run_mission(const CampaignConfig& config,
   report.lane_rollbacks = system.lane_rollbacks();
   report.lane_resyncs = lanes.resyncs;
   report.sig_mismatches = lanes.sig_mismatches;
+  for (const HwRecoveryStats& r : system.hw_recoveries()) {
+    for (const Duration& d : r.rollback_distance) {
+      report.rollback_seconds.push_back(d.to_seconds());
+    }
+  }
+  for (std::uint32_t p = 0; p < kNumCanonicalProcesses; ++p) {
+    if (const TbEngine* tb = system.node(ProcessId{p}).tb()) {
+      report.blocking_seconds += tb->total_blocking().to_seconds();
+    }
+  }
   if (AssumptionMonitor* m = system.monitor()) report.monitor = m->stats();
 
   if (!config.trace_csv.empty()) {
@@ -258,6 +268,8 @@ bool operator==(const MissionReport& a, const MissionReport& b) {
          a.at_exposures == b.at_exposures && a.at_detected == b.at_detected &&
          a.at_missed == b.at_missed &&
          a.at_false_alarms == b.at_false_alarms &&
+         a.rollback_seconds == b.rollback_seconds &&
+         a.blocking_seconds == b.blocking_seconds &&
          a.schedule_json == b.schedule_json &&
          ma.bound_violations == mb.bound_violations &&
          ma.blocking_overruns == mb.blocking_overruns &&

@@ -119,6 +119,16 @@ struct MissionReport {
   std::uint64_t at_missed = 0;       ///< tainted runs that passed (blind spot)
   std::uint64_t at_false_alarms = 0; ///< clean runs that failed
 
+  // Distribution-feeding observables for the sweep driver (src/sweep).
+  // Derived from simulated time only, so they share the determinism
+  // contract with every counter above.
+  /// Rollback distance of each hardware recovery this mission, in
+  /// simulated seconds, in recovery order (the Figure-7 axis).
+  std::vector<double> rollback_seconds;
+  /// Total time-based-checkpointing blocking time summed over nodes, in
+  /// simulated seconds (the tau(b) axis).
+  double blocking_seconds = 0.0;
+
   MonitorStats monitor;
 
   /// Populated when the mission failed: the full replayable adversary.

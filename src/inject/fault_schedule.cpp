@@ -251,4 +251,30 @@ std::string FaultSchedule::to_json() const {
   return out;
 }
 
+InjectorRates InjectorRates::scaled_by(double scale) const {
+  InjectorRates out = *this;
+  const auto prob = [scale](double p) { return std::min(1.0, p * scale); };
+  const auto gap = [scale](Duration g) {
+    if (g <= Duration::zero() || scale <= 0.0) return Duration::zero();
+    return Duration::from_seconds(g.to_seconds() / scale);
+  };
+  out.net.drop_probability = prob(net.drop_probability);
+  out.net.duplicate_probability = prob(net.duplicate_probability);
+  out.net.reorder_probability = prob(net.reorder_probability);
+  out.net.delay_probability = prob(net.delay_probability);
+  out.net.bitflip_probability = prob(net.bitflip_probability);
+  out.storage.write_error_probability = prob(storage.write_error_probability);
+  out.storage.torn_write_probability = prob(storage.torn_write_probability);
+  out.storage.latent_corruption_probability =
+      prob(storage.latent_corruption_probability);
+  out.timed.hw_fault_mean_gap = gap(timed.hw_fault_mean_gap);
+  out.timed.drift_excursion_mean_gap = gap(timed.drift_excursion_mean_gap);
+  out.timed.resync_blackout_mean_gap = gap(timed.resync_blackout_mean_gap);
+  out.timed.lane_flip_mean_gap = gap(timed.lane_flip_mean_gap);
+  out.timed.sig_fault_mean_gap = gap(timed.sig_fault_mean_gap);
+  out.mobile.disconnect_mean_gap = gap(mobile.disconnect_mean_gap);
+  out.mobile.handoff_mean_gap = gap(mobile.handoff_mean_gap);
+  return out;
+}
+
 }  // namespace synergy

@@ -81,6 +81,13 @@ struct InjectorRates {
   StorageFaultParams storage;
   TimedFaultRates timed;
   MobileFaultRates mobile;
+
+  /// The whole rate table scaled along the sweep's fault-rate axis:
+  /// per-message/per-write probabilities multiply by `scale` (clamped to
+  /// 1), timed and mobile mean gaps divide by it (more events per
+  /// mission), and severities (drift factor, epoch lengths, burst loss,
+  /// retry policy) stay untouched. scale 0 disables every fault class.
+  InjectorRates scaled_by(double scale) const;
 };
 
 struct FaultEvent {

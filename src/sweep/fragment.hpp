@@ -1,0 +1,50 @@
+// `synergy-sweep-v1` fragments: serialize, reload, merge.
+//
+// A fragment is one shard's complete aggregate state — per-cell tallies,
+// raw Welford state (n, mean, M2, min, max) printed at full %.17g
+// round-trip precision, and the reservoir samples with their priorities.
+// Reloading a fragment therefore reconstructs the aggregates
+// *bit-for-bit*, and merging the full fragment set reproduces the
+// single-process run byte-for-byte:
+//
+//   - per-cell state is untouched by the merge (a cell runs entirely
+//     inside one shard, so its aggregate never needs combining);
+//   - the cross-cell "overall" rollup is recomputed on every emit by
+//     folding cells in cell-index order — Chan merges for the moments,
+//     top-K priority union for the reservoirs — the same fold the
+//     single-process emitter performs;
+//   - derived display values (CI half-widths, quantiles, dependability)
+//     are recomputed from the bit-identical state, never parsed.
+//
+// Merge is strict: fragments must agree on the mission-defining header
+// (seed, reps, duration, axes, workload, fault-family knobs), cover
+// every cell exactly once, and match the grid the header implies. A
+// missing cell aborts with the indices to re-run — that, plus
+// seed-stable shard assignment, is the resume story: re-run the lost
+// shard, merge again.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hpp"
+
+namespace synergy::sweep {
+
+/// The deterministic fragment document. Identical shard state yields
+/// identical bytes on every host (no timestamps, no host timing).
+std::string to_json(const ShardResult& shard);
+
+/// Plot-ready per-cell CSV (derived values; one row per cell).
+std::string to_csv(const ShardResult& shard);
+
+/// Reload a fragment. Throws std::runtime_error on malformed input,
+/// schema mismatch, or state inconsistent with the embedded header.
+ShardResult parse_fragment(const std::string& json_text);
+
+/// Combine the complete fragment set into the single-process result
+/// (shard 1/1). Throws std::runtime_error when headers disagree, a cell
+/// appears twice, or cells are missing (message lists what to re-run).
+ShardResult merge_fragments(const std::vector<ShardResult>& fragments);
+
+}  // namespace synergy::sweep

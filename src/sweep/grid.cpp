@@ -1,0 +1,83 @@
+#include "sweep/grid.hpp"
+
+#include "sweep/stats.hpp"
+
+namespace synergy::sweep {
+
+namespace {
+
+// Distinct salt streams so the cell-seed sequence, the shard hash, and
+// the reservoir priorities never alias each other.
+constexpr std::uint64_t kCellSeedSalt = 0x5157454550534545ull;  // "QWEEPSEE"
+constexpr std::uint64_t kShardSalt = 0x5348415244484153ull;     // "SHARDHAS"
+
+}  // namespace
+
+std::size_t grid_size(const SweepAxes& axes) {
+  return axes.schemes.size() * axes.fault_scales.size() *
+         axes.coverages.size() * axes.intervals_s.size();
+}
+
+std::uint64_t cell_seed(std::uint64_t sweep_seed, std::size_t index) {
+  return mix64(mix64(sweep_seed ^ kCellSeedSalt) ^
+               static_cast<std::uint64_t>(index + 1));
+}
+
+std::uint32_t cell_shard(std::uint64_t sweep_seed, std::size_t index,
+                         std::uint32_t shard_count) {
+  if (shard_count <= 1) return 0;
+  const std::uint64_t h = mix64(mix64(sweep_seed ^ kShardSalt) ^
+                                static_cast<std::uint64_t>(index + 1));
+  return static_cast<std::uint32_t>(h % shard_count);
+}
+
+std::vector<SweepCell> build_grid(const SweepConfig& config) {
+  std::vector<SweepCell> grid;
+  grid.reserve(grid_size(config.axes));
+  std::size_t index = 0;
+  for (Scheme scheme : config.axes.schemes) {
+    for (double scale : config.axes.fault_scales) {
+      for (double coverage : config.axes.coverages) {
+        for (double interval : config.axes.intervals_s) {
+          SweepCell cell;
+          cell.index = index;
+          cell.seed = cell_seed(config.seed, index);
+          cell.scheme = scheme;
+          cell.fault_scale = scale;
+          cell.coverage = coverage;
+          cell.interval = Duration::from_seconds(interval);
+          grid.push_back(cell);
+          ++index;
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+CampaignConfig cell_campaign_config(const SweepConfig& config,
+                                    const SweepCell& cell) {
+  CampaignConfig cc;  // chaos-soak workload + default injector rates
+  cc.seed = cell.seed;
+  cc.reps = config.reps;
+  cc.mission = config.mission;
+  cc.scheme = cell.scheme;
+  cc.jobs = 1;  // the sweep runner owns the fan-out
+  cc.base.at.coverage = cell.coverage;
+  cc.base.tb.interval = cell.interval;
+  cc.base.workload.kind = config.workload;
+
+  InjectorRates rates = default_injector_rates();
+  rates.timed.lane_flip_mean_gap = config.lane_flip_gap;
+  rates.timed.sig_fault_mean_gap = config.sig_fault_gap;
+  if (config.mobile) {
+    // The chaos-smoke mobile profile (see ci.yml's mobile steps).
+    rates.mobile.disconnect_mean_gap = Duration::seconds(80);
+    rates.mobile.disconnect_mean_len = Duration::seconds(12);
+    rates.mobile.handoff_mean_gap = Duration::seconds(150);
+  }
+  cc.rates = rates.scaled_by(cell.fault_scale);
+  return cc;
+}
+
+}  // namespace synergy::sweep

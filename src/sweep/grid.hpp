@@ -1,0 +1,92 @@
+// The sweep's deterministic cell grid.
+//
+// A sweep crosses fault-rate scale × AT coverage × TB checkpoint interval
+// × scheme into a flat, deterministically ordered list of cells
+// (scheme-major, then fault scale, coverage, interval). Each cell owns:
+//
+//   - a stable linear index (its identity in fragments and merges),
+//   - a cell seed derived from the sweep seed + index by SplitMix64, from
+//     which the cell's mission seeds derive exactly the way
+//     run_campaign derives them from a campaign seed,
+//   - a shard assignment: hash(seed, index) % shard_count. The hash is
+//     seed-stable, so "which cells does shard i/N run" is a pure function
+//     of the sweep header — any machine can compute its share without
+//     coordination, and a lost shard is re-runnable in isolation (the
+//     resumability story).
+//
+// Because every cell runs entirely inside one shard, per-cell aggregates
+// are bit-identical between a sharded and a single-process execution; the
+// merge step only reassembles the full grid and re-derives the cross-cell
+// rollup in cell-index order (see fragment.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "common/time.hpp"
+#include "coord/scheme.hpp"
+#include "core/campaign.hpp"
+
+namespace synergy::sweep {
+
+/// The swept axes, in nesting order (outermost first).
+struct SweepAxes {
+  std::vector<Scheme> schemes = {Scheme::kCoordinated};
+  /// Multiplier on every default injector rate: per-message probabilities
+  /// scale up (clamped to 1), timed mean gaps scale down. 0 = fault-free.
+  std::vector<double> fault_scales = {1.0};
+  std::vector<double> coverages = {1.0};
+  std::vector<double> intervals_s = {10.0};
+};
+
+/// Everything that determines a sweep's missions (and therefore its
+/// fragment contents). Executor knobs (jobs, shard) are deliberately
+/// outside the mission-defining set.
+struct SweepConfig {
+  std::uint64_t seed = 1;
+  std::size_t reps = 100;             ///< Missions per cell.
+  Duration mission = Duration::seconds(60);
+  SweepAxes axes;
+  WorkloadKind workload = WorkloadKind::kRegisters;
+  /// Per-lane fault gaps, armed for sweeps over the redundant schemes
+  /// (scaled per cell like the other timed rates; 0 = off).
+  Duration lane_flip_gap = Duration::zero();
+  Duration sig_fault_gap = Duration::zero();
+  /// Arm the mobile mission family (disconnection epochs + handoffs) with
+  /// the chaos-smoke defaults, scaled per cell.
+  bool mobile = false;
+
+  // ---- Executor knobs (no effect on mission results) ----
+  std::size_t jobs = 1;          ///< Per-cell mission fan-out; 0 = all cores.
+  std::uint32_t shard_index = 0; ///< 0-based; CLI speaks 1-based "i/N".
+  std::uint32_t shard_count = 1;
+};
+
+struct SweepCell {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  Scheme scheme = Scheme::kCoordinated;
+  double fault_scale = 1.0;
+  double coverage = 1.0;
+  Duration interval = Duration::seconds(10);
+};
+
+/// Total cell count (product of the axis lengths).
+std::size_t grid_size(const SweepAxes& axes);
+
+/// The full grid in canonical order. Cell seeds derive from config.seed.
+std::vector<SweepCell> build_grid(const SweepConfig& config);
+
+/// Seed-stable cell seed / shard assignment for cell `index`.
+std::uint64_t cell_seed(std::uint64_t sweep_seed, std::size_t index);
+std::uint32_t cell_shard(std::uint64_t sweep_seed, std::size_t index,
+                         std::uint32_t shard_count);
+
+/// The campaign configuration a cell's missions run under: the chaos
+/// defaults with the cell's scheme/coverage/interval applied and every
+/// injector rate scaled by the cell's fault scale.
+CampaignConfig cell_campaign_config(const SweepConfig& config,
+                                    const SweepCell& cell);
+
+}  // namespace synergy::sweep

@@ -1,0 +1,84 @@
+// Byte-stable JSON formatting primitives shared by every synergy JSON
+// emitter (`synergy-bench-v1` in bench/bench_common.hpp and
+// `synergy-sweep-v1` in src/sweep/fragment.cpp).
+//
+// The sweep's shard/merge contract is *byte identity*: fragments parsed
+// from disk and re-emitted must reproduce the single-process run exactly.
+// That works only if every double is printed with enough digits to
+// round-trip (IEEE-754 doubles survive "%.17g" -> strtod bit-for-bit) and
+// every string is escaped the same way everywhere. Centralizing the
+// formatting here makes "same value => same bytes" a property of the
+// helpers instead of a per-emitter convention.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace synergy::jsonfmt {
+
+/// Full-round-trip double: parsing the output with strtod yields the
+/// original bit pattern. Used for aggregate *state* (means, M2, samples)
+/// where merge determinism depends on exact values.
+inline std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Display-precision double for *derived* quantities (CIs, quantiles,
+/// ratios) that are recomputed from g17 state on every emit — lossy but
+/// deterministic, since the inputs are bit-identical by construction.
+inline std::string g6(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Fixed-point display double (`%.Nf`) for human-tuned emitters such as
+/// the synergy-bench-v1 writer, where the committed baselines settled on
+/// fixed precision. Not round-trip safe; never use for merge state.
+inline std::string fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Append `s` JSON-escaped (quotes, backslashes, control characters).
+inline void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// `"s"` with escaping applied.
+inline std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  append_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace synergy::jsonfmt

@@ -1,0 +1,251 @@
+// The sweep's mergeable statistics: Welford/Chan moments and the
+// priority-ranked reservoir. These carry the shard/merge byte-identity
+// contract, so the tests are about *exactness*: bit-for-bit commutative
+// merges, insertion-order independence, and agreement with a two-pass
+// oracle on large streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sweep/stats.hpp"
+
+using namespace synergy;
+using namespace synergy::sweep;
+
+namespace {
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+bool bitwise_equal(const Moments& a, const Moments& b) {
+  return a.n == b.n && bits_of(a.mean) == bits_of(b.mean) &&
+         bits_of(a.m2) == bits_of(b.m2) && bits_of(a.min) == bits_of(b.min) &&
+         bits_of(a.max) == bits_of(b.max);
+}
+
+double uniform(Rng& rng) {
+  // 53-bit mantissa draw in [0, 1).
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TEST(SweepMoments, MatchesTwoPassOracleOnMillionSamples) {
+  // Streaming mean/variance vs the textbook two-pass computation over
+  // 10^6 mixed-scale samples. Welford is famously stable; hold it to
+  // tight relative error against the oracle.
+  constexpr std::size_t kN = 1'000'000;
+  Rng rng(20260808);
+  std::vector<double> xs;
+  xs.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    // Mix magnitudes so cancellation would expose a naive sum-of-squares.
+    xs.push_back(1000.0 + uniform(rng) - 0.5);
+  }
+
+  Moments m;
+  for (double x : xs) m.add(x);
+
+  double sum = 0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(kN);
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  const double var = ss / static_cast<double>(kN - 1);
+
+  ASSERT_EQ(m.n, kN);
+  EXPECT_NEAR(m.mean, mean, std::abs(mean) * 1e-12);
+  EXPECT_NEAR(m.variance(), var, var * 1e-9);
+  EXPECT_DOUBLE_EQ(m.min, *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(m.max, *std::max_element(xs.begin(), xs.end()));
+  // CI half-width: 1.96 * sqrt(var/n) against the oracle variance.
+  EXPECT_NEAR(m.ci95_halfwidth(),
+              1.96 * std::sqrt(var / static_cast<double>(kN)),
+              m.ci95_halfwidth() * 1e-9);
+}
+
+TEST(SweepMoments, ChanMergeIsCommutativeBitForBit) {
+  // The merge contract: merge(a, b) and merge(b, a) must be the *same
+  // bits*, not merely close — fragment order on the merge command line
+  // must not perturb the output document.
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    Moments a, b;
+    const std::size_t na = 1 + (rng.next() % 50);
+    const std::size_t nb = 1 + (rng.next() % 50);
+    for (std::size_t i = 0; i < na; ++i) a.add(uniform(rng) * 100.0);
+    for (std::size_t i = 0; i < nb; ++i) b.add(uniform(rng) * 0.01);
+    const Moments ab = merge(a, b);
+    const Moments ba = merge(b, a);
+    ASSERT_TRUE(bitwise_equal(ab, ba)) << "trial " << trial;
+  }
+}
+
+TEST(SweepMoments, MergeWithEmptyIsIdentity) {
+  Moments a;
+  a.add(3.0);
+  a.add(-1.5);
+  const Moments e;
+  EXPECT_TRUE(bitwise_equal(merge(a, e), a));
+  EXPECT_TRUE(bitwise_equal(merge(e, a), a));
+  EXPECT_TRUE(bitwise_equal(merge(e, e), e));
+}
+
+TEST(SweepMoments, MergeAgreesWithSequentialFold) {
+  // Chan-merging two halves equals folding the concatenation, within
+  // floating-point tolerance (the emitters rely on *identical grouping*
+  // for byte identity — this checks the math, not the bytes).
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 10'000; ++i) xs.push_back(uniform(rng) * 10.0);
+
+  Moments whole, lo, hi;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < xs.size() / 2 ? lo : hi).add(xs[i]);
+  }
+  const Moments merged = merge(lo, hi);
+  ASSERT_EQ(merged.n, whole.n);
+  EXPECT_NEAR(merged.mean, whole.mean, std::abs(whole.mean) * 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), whole.variance() * 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min, whole.min);
+  EXPECT_DOUBLE_EQ(merged.max, whole.max);
+}
+
+TEST(SweepMoments, SingleSampleEdgeCases) {
+  Moments m;
+  m.add(5.0);
+  EXPECT_EQ(m.n, 1u);
+  EXPECT_DOUBLE_EQ(m.mean, 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.ci95_halfwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min, 5.0);
+  EXPECT_DOUBLE_EQ(m.max, 5.0);
+
+  Moments other;
+  other.add(-2.0);
+  const Moments merged = merge(m, other);
+  EXPECT_EQ(merged.n, 2u);
+  EXPECT_DOUBLE_EQ(merged.mean, 1.5);
+  EXPECT_DOUBLE_EQ(merged.min, -2.0);
+  EXPECT_DOUBLE_EQ(merged.max, 5.0);
+}
+
+TEST(SweepReservoir, KeepsTopKByPriorityRegardlessOfInsertionOrder) {
+  // Offer the same 500 samples in three different orders; the retained
+  // set (and its serialization order) must be identical, and must equal
+  // the true top-K by priority.
+  constexpr std::size_t kCap = 16;
+  Rng rng(99);
+  std::vector<WeightedSample> samples;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    samples.push_back(
+        WeightedSample{uniform(rng), mix64(i * 977 + 13), i % 7, i});
+  }
+
+  std::vector<WeightedSample> shuffled = samples;
+  std::reverse(shuffled.begin(), shuffled.end());
+  std::vector<WeightedSample> interleaved;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    interleaved.push_back(samples[(i * 263) % samples.size()]);
+  }
+
+  Reservoir a(kCap), b(kCap), c(kCap);
+  for (const auto& s : samples) a.add(s);
+  for (const auto& s : shuffled) b.add(s);
+  for (const auto& s : interleaved) c.add(s);
+
+  std::vector<WeightedSample> expected = samples;
+  std::sort(expected.begin(), expected.end(), sample_outranks);
+  expected.resize(kCap);
+
+  for (const Reservoir* r : {&a, &b, &c}) {
+    ASSERT_EQ(r->size(), kCap);
+    for (std::size_t i = 0; i < kCap; ++i) {
+      EXPECT_EQ(r->ranked()[i].priority, expected[i].priority);
+      EXPECT_EQ(r->ranked()[i].ordinal, expected[i].ordinal);
+      EXPECT_EQ(bits_of(r->ranked()[i].value), bits_of(expected[i].value));
+    }
+  }
+}
+
+TEST(SweepReservoir, UnionIsExactAndPermutationInvariant) {
+  // Split a sample stream across three "shards", each with its own
+  // reservoir; merging the shard reservoirs in any order must reproduce
+  // the single-reservoir result exactly — the union of per-shard top-Ks
+  // contains the global top-K.
+  constexpr std::size_t kCap = 12;
+  Rng rng(123);
+  std::vector<WeightedSample> all;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    all.push_back(WeightedSample{uniform(rng) * 4.0,
+                                 mix64(0xABCDull ^ (i * 31)), i % 9, i});
+  }
+
+  Reservoir global(kCap);
+  Reservoir shard[3] = {Reservoir(kCap), Reservoir(kCap), Reservoir(kCap)};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    global.add(all[i]);
+    shard[i % 3].add(all[i]);
+  }
+
+  const int orders[][3] = {{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {0, 2, 1}};
+  for (const auto& order : orders) {
+    Reservoir merged(kCap);
+    for (int idx : order) merged.merge(shard[idx]);
+    ASSERT_EQ(merged.size(), global.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged.ranked()[i].priority, global.ranked()[i].priority);
+      EXPECT_EQ(bits_of(merged.ranked()[i].value),
+                bits_of(global.ranked()[i].value));
+    }
+  }
+}
+
+TEST(SweepReservoir, EmptyAndSingleSampleEdges) {
+  Reservoir r(8);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_DOUBLE_EQ(r.quantile(0.5), 0.0);  // empty => 0 by contract
+
+  Reservoir other(8);
+  r.merge(other);  // empty-with-empty is a no-op
+  EXPECT_EQ(r.size(), 0u);
+
+  r.add(2.5, 7, 0, 0);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.quantile(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(r.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(r.quantile(1.0), 2.5);
+
+  other.merge(r);
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_DOUBLE_EQ(other.ranked()[0].value, 2.5);
+}
+
+TEST(SweepReservoir, QuantilesInterpolateOverRetainedValues) {
+  Reservoir r(64);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    // values 1..5, priorities arbitrary
+    r.add(static_cast<double>(i + 1), mix64(i), 0, i);
+  }
+  EXPECT_DOUBLE_EQ(r.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(r.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(r.quantile(0.25), 2.0);
+}
+
+TEST(SweepStats, Mix64IsTheSplitMix64Finalizer) {
+  // Anchor the hash: cell seeds, shard assignment and sample priorities
+  // are all derived from it, so silently changing it would orphan every
+  // committed fragment. Reference values from the SplitMix64 stream.
+  EXPECT_EQ(mix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(mix64(1), 0x910A2DEC89025CC1ull);
+  EXPECT_EQ(mix64(2), 0x975835DE1C9756CEull);
+}

@@ -1,16 +1,21 @@
 // synergy — command-line driver for the simulator.
 //
-//   synergy run   [options]   run one mission and report what happened
-//   synergy sweep [options]   Monte-Carlo rollback-distance sweep (CSV)
-//   synergy model [options]   evaluate the closed-form rollback model
-//   synergy chaos [options]   seeded fault-injection campaign
+//   synergy run      [options]  run one mission and report what happened
+//   synergy sweep    [options]  sharded Monte-Carlo parameter sweep (JSON)
+//   synergy rollback [options]  Figure-7 rollback-distance sweep (CSV)
+//   synergy model    [options]  evaluate the closed-form rollback model
+//   synergy chaos    [options]  seeded fault-injection campaign
 //
 // Run `synergy help` for the full option list. Examples:
 //
 //   synergy run --scheme coordinated --duration 3600 --hw-fault 1800:2
 //   synergy run --sw-error 900 --timeline
 //   synergy run --scheme naive --seed 7 --check --trace-csv trace.csv
-//   synergy sweep --rates 60,100,140,200 --reps 40 > fig7.csv
+//   synergy sweep --schemes coordinated,mdcd_only --fault-scales 1,2,4 \
+//       --reps 100 --duration 60 --jobs 0 --out sweep.json
+//   synergy sweep ... --shard 2/3 --out frag2.json
+//   synergy sweep --merge frag1.json frag2.json frag3.json --out full.json
+//   synergy rollback --rates 60,100,140,200 --reps 40 > fig7.csv
 //   synergy chaos --reps 50 --seed 1
 //   synergy chaos --replay 13665873534402006364
 #include <algorithm>
@@ -19,6 +24,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +35,8 @@
 #include "core/experiment.hpp"
 #include "core/pool.hpp"
 #include "core/system.hpp"
+#include "sweep/fragment.hpp"
+#include "sweep/runner.hpp"
 #include "trace/export.hpp"
 #include "trace/timeline.hpp"
 
@@ -40,10 +48,11 @@ namespace {
   std::printf(R"(synergy — MDCD + TB fault-tolerance simulator
 
 USAGE
-  synergy run   [options]    run one mission
-  synergy sweep [options]    rollback-distance sweep, CSV on stdout
-  synergy model [options]    closed-form rollback model
-  synergy chaos [options]    seeded fault-injection campaign
+  synergy run      [options]  run one mission
+  synergy sweep    [options]  sharded Monte-Carlo parameter sweep (JSON)
+  synergy rollback [options]  rollback-distance sweep, CSV on stdout
+  synergy model    [options]  closed-form rollback model
+  synergy chaos    [options]  seeded fault-injection campaign
   synergy help
 
 RUN OPTIONS
@@ -66,7 +75,43 @@ RUN OPTIONS
   --trace-csv FILE    dump the trace as CSV
   --trace-jsonl FILE  dump the trace as JSON Lines
 
-SWEEP OPTIONS
+SWEEP OPTIONS (run mode)
+  Crosses scheme x fault-scale x AT-coverage x checkpoint-interval into a
+  deterministic cell grid; each cell runs --reps chaos missions through
+  the work-stealing executor and is aggregated with streaming statistics
+  (memory stays O(cells) however many missions run). Output is a
+  `synergy-sweep-v1` JSON document on stdout (or --out).
+  --seed N            sweep seed; cell and mission seeds derive from it
+                      (default 1)
+  --reps N            missions per cell (default 100)
+  --duration SECS     mission length (default 60)
+  --schemes A,B,...   scheme axis (default coordinated)
+  --fault-scales A,.. multiplier on every chaos injector rate; 0 = fault
+                      free (default 1)
+  --coverages A,B,... AT coverage axis (default 1)
+  --intervals A,B,... TB checkpoint interval axis, seconds (default 10)
+  --workload W        registers | abft (default registers)
+  --lane-gap SECS     arm per-lane bit-flips at this mean gap (default off)
+  --sig-gap SECS      arm CFCSS signature faults at this mean gap
+  --mobile            arm the mobile disconnect/handoff family
+  --jobs N            per-cell mission fan-out; 0 = all hardware threads
+                      (default 1); never affects the output bytes
+  --shard I/N         run only the cells the seed-stable hash assigns to
+                      shard I of N (default 1/1); emit a mergeable fragment
+  --out FILE          write the JSON here instead of stdout
+  --csv FILE          also write a plot-ready per-cell CSV
+  --bench-json FILE   write shard throughput (cells/s) as synergy-bench-v1
+                      JSON (the BENCH_sweep.json regression baseline)
+  --quiet             suppress per-cell progress lines on stderr
+
+SWEEP OPTIONS (merge mode)
+  --merge F1 F2 ...   combine shard fragments; the merged document is
+                      byte-identical to the single-process full-grid run.
+                      Headers must agree and every cell must appear
+                      exactly once (missing cells are listed so the lost
+                      shard can be re-run). --out/--csv as above.
+
+ROLLBACK OPTIONS
   --scheme, --seed, --interval as above (scheme measured against
   write_through automatically when omitted)
   --rates A,B,...     internal message rates per 100000 s (default
@@ -294,7 +339,7 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
-int cmd_sweep(int argc, char** argv) {
+int cmd_rollback(int argc, char** argv) {
   std::vector<double> rates = {60, 80, 100, 120, 140, 160, 180, 200};
   std::size_t reps = 30;
   std::uint64_t seed = 42;
@@ -345,6 +390,190 @@ int cmd_sweep(int argc, char** argv) {
                   result.overall.mean(), result.overall.ci95_halfwidth(),
                   static_cast<unsigned long long>(result.faults));
     }
+  }
+  return 0;
+}
+
+/// Comma-separated list of doubles; rejects empty items and junk.
+std::vector<double> parse_double_list(const char* flag, const char* value) {
+  std::vector<double> out;
+  const std::string list = value;
+  for (std::size_t pos = 0; pos <= list.size();) {
+    const auto comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (item.empty() || end == item.c_str() || *end != '\0') {
+      std::fprintf(stderr, "%s expects a comma-separated number list, got "
+                   "\"%s\"\n", flag, value);
+      usage(2);
+    }
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s expects at least one value\n", flag);
+    usage(2);
+  }
+  return out;
+}
+
+std::vector<Scheme> parse_scheme_list(const char* flag, const char* value) {
+  std::vector<Scheme> out;
+  const std::string list = value;
+  for (std::size_t pos = 0; pos <= list.size();) {
+    const auto comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (const auto s = scheme_from_string(item)) {
+      out.push_back(*s);
+    } else {
+      std::fprintf(stderr, "%s: unknown scheme \"%s\"\n", flag, item.c_str());
+      usage(2);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s expects at least one scheme\n", flag);
+    usage(2);
+  }
+  return out;
+}
+
+/// `I/N` with 1 <= I <= N.
+void parse_shard(const char* value, std::uint32_t& index,
+                 std::uint32_t& count) {
+  unsigned long long i = 0, n = 0;
+  char* end = nullptr;
+  i = std::strtoull(value, &end, 10);
+  if (end == value || *end != '/') {
+    std::fprintf(stderr, "--shard expects I/N (e.g. 2/3), got \"%s\"\n", value);
+    usage(2);
+  }
+  const char* rest = end + 1;
+  n = std::strtoull(rest, &end, 10);
+  if (end == rest || *end != '\0' || i < 1 || n < 1 || i > n) {
+    std::fprintf(stderr, "--shard expects I/N with 1 <= I <= N, got \"%s\"\n",
+                 value);
+    usage(2);
+  }
+  index = static_cast<std::uint32_t>(i - 1);
+  count = static_cast<std::uint32_t>(n);
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out.flush());
+}
+
+int cmd_sweep(int argc, char** argv) {
+  sweep::SweepConfig config;
+  bool merge_mode = false;
+  bool quiet = false;
+  std::vector<std::string> fragment_paths;
+  std::string out_path, csv_path, bench_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--merge") merge_mode = true;
+    else if (a == "--seed") config.seed = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--reps") config.reps = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--duration") config.mission = parse_seconds("--duration", arg_value(argc, argv, i));
+    else if (a == "--schemes") config.axes.schemes = parse_scheme_list("--schemes", arg_value(argc, argv, i));
+    else if (a == "--fault-scales") config.axes.fault_scales = parse_double_list("--fault-scales", arg_value(argc, argv, i));
+    else if (a == "--coverages") config.axes.coverages = parse_double_list("--coverages", arg_value(argc, argv, i));
+    else if (a == "--intervals") config.axes.intervals_s = parse_double_list("--intervals", arg_value(argc, argv, i));
+    else if (a == "--workload") config.workload = parse_workload(arg_value(argc, argv, i));
+    else if (a == "--lane-gap") config.lane_flip_gap = parse_seconds("--lane-gap", arg_value(argc, argv, i));
+    else if (a == "--sig-gap") config.sig_fault_gap = parse_seconds("--sig-gap", arg_value(argc, argv, i));
+    else if (a == "--mobile") config.mobile = true;
+    else if (a == "--jobs") config.jobs = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--shard") parse_shard(arg_value(argc, argv, i), config.shard_index, config.shard_count);
+    else if (a == "--out") out_path = arg_value(argc, argv, i);
+    else if (a == "--csv") csv_path = arg_value(argc, argv, i);
+    else if (a == "--bench-json") bench_path = arg_value(argc, argv, i);
+    else if (a == "--quiet") quiet = true;
+    else if (merge_mode && !a.empty() && a[0] != '-') fragment_paths.push_back(a);
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(2);
+    }
+  }
+  if (merge_mode && fragment_paths.empty()) {
+    std::fprintf(stderr, "--merge expects fragment paths\n");
+    usage(2);
+  }
+  if (config.reps == 0) {
+    std::fprintf(stderr, "--reps must be at least 1\n");
+    usage(2);
+  }
+
+  try {
+    sweep::ShardResult result;
+    if (merge_mode) {
+      std::vector<sweep::ShardResult> fragments;
+      fragments.reserve(fragment_paths.size());
+      for (const std::string& path : fragment_paths) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          std::fprintf(stderr, "cannot read %s\n", path.c_str());
+          return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        try {
+          fragments.push_back(sweep::parse_fragment(buf.str()));
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+          return 1;
+        }
+      }
+      result = sweep::merge_fragments(fragments);
+    } else {
+      result = sweep::run_sweep(config, quiet ? nullptr : &std::cerr);
+    }
+
+    const std::string json = sweep::to_json(result);
+    if (out_path.empty()) {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    } else if (!write_text_file(out_path, json)) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    if (!csv_path.empty() && !write_text_file(csv_path, sweep::to_csv(result))) {
+      std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+      return 1;
+    }
+    if (!bench_path.empty()) {
+      // Shard throughput for the perf-regression gate. Cells/s is the
+      // stable unit (cells are fixed-size work packets of --reps
+      // missions); missions/s rides along in the counters.
+      bench::BenchJsonWriter writer;
+      const std::size_t cells = result.cells.size();
+      char name[160];
+      std::snprintf(name, sizeof(name),
+                    "sweep/cells=%zu/reps=%zu/duration=%gs", cells,
+                    config.reps, config.mission.to_seconds());
+      const double wall = std::max(result.wall_seconds, 1e-9);
+      writer.add({name, static_cast<std::uint64_t>(cells),
+                  wall * 1e9 / std::max<double>(1.0, static_cast<double>(cells)),
+                  static_cast<double>(cells) / wall});
+      writer.set_counter("missions_run", result.missions_run);
+      writer.set_counter("cells_total", result.cells_total);
+      if (!writer.write_file(bench_path)) {
+        std::fprintf(stderr, "failed to write %s\n", bench_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "bench json written to %s\n", bench_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "synergy sweep: %s\n", e.what());
+    return 1;
   }
   return 0;
 }
@@ -590,6 +819,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "sweep") return cmd_sweep(argc, argv);
+  if (cmd == "rollback") return cmd_rollback(argc, argv);
   if (cmd == "model") return cmd_model(argc, argv);
   if (cmd == "chaos") return cmd_chaos(argc, argv);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") usage(0);
