@@ -17,6 +17,57 @@
 #include "core/system.hpp"
 #include "sweep/jsonfmt.hpp"
 
+// ---- Allocation counting (zero-alloc gates) --------------------------------
+//
+// A bench binary that defines SYNERGY_BENCH_COUNT_ALLOCS before including
+// this header gets a counting global operator new/delete: while `armed`,
+// every allocation bumps `news`. The pooled message-path bench uses it to
+// *assert* (not just measure) that steady-state send→deliver performs zero
+// heap operations — a regression fails the binary, and with it CI.
+//
+// Replaceable allocation functions must be defined exactly once in the
+// program, so only single-TU bench binaries may define the macro.
+#if defined(SYNERGY_BENCH_COUNT_ALLOCS)
+#include <cstdlib>
+#include <new>
+
+namespace synergy::bench::alloc_count {
+inline bool armed = false;
+inline std::uint64_t news = 0;
+}  // namespace synergy::bench::alloc_count
+
+void* operator new(std::size_t n) {
+  if (synergy::bench::alloc_count::armed) ++synergy::bench::alloc_count::news;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  std::abort();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  if (synergy::bench::alloc_count::armed) ++synergy::bench::alloc_count::news;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1))) {
+    return p;
+  }
+  std::abort();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // SYNERGY_BENCH_COUNT_ALLOCS
+
 namespace synergy::bench {
 
 enum class Effort { kQuick, kDefault, kFull };

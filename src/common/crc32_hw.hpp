@@ -1,0 +1,31 @@
+// Internal interface to the hardware-accelerated CRC-32 kernel.
+//
+// Not a public header: only serialize.cpp (the dispatching crc32()) and
+// the CRC tests include it. The kernel operates on the *raw* shift-register
+// state — the caller owns the 0xFFFFFFFF pre/post conditioning — so the
+// dispatcher can hand any aligned middle chunk of a buffer to the kernel
+// and finish the tail with the portable update on the same state.
+//
+// Note the polynomial: this is CRC-32 (IEEE 802.3, 0xEDB88320 reflected),
+// NOT CRC-32C — the SSE4.2 `crc32` instruction computes the Castagnoli
+// polynomial and cannot be used here. The kernel instead folds with
+// carry-less multiplies (PCLMULQDQ) against constants derived from the
+// IEEE polynomial, which is bit-identical to the table-driven code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace synergy::detail {
+
+/// True iff the running CPU supports the PCLMUL kernel (x86 with
+/// PCLMULQDQ + SSE4.1). Constant for the process lifetime.
+bool crc32_pclmul_supported();
+
+/// Fold `n` bytes into the raw CRC state with carry-less multiplies.
+/// Preconditions: crc32_pclmul_supported(), n >= 64 and n % 16 == 0.
+/// No 0xFFFFFFFF pre/post conditioning is applied.
+std::uint32_t crc32_pclmul(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t n);
+
+}  // namespace synergy::detail

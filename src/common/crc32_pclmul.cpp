@@ -1,0 +1,135 @@
+// PCLMUL-folded CRC-32 (IEEE 0xEDB88320, reflected) — the hardware fast
+// path behind crc32() in serialize.cpp.
+//
+// Method: carry-less-multiply folding (Gopal et al., "Fast CRC Computation
+// for Generic Polynomials Using PCLMULQDQ Instruction", Intel 2009). Four
+// 128-bit accumulators advance 64 input bytes per iteration by multiplying
+// each accumulator with x^512/x^576 mod P and xoring in the next block;
+// the accumulators then fold to one register, to 64 bits, and a Barrett
+// reduction produces the 32-bit remainder. The folding constants below are
+// the standard ones for the IEEE polynomial (the same values zlib's SIMD
+// path uses); the dispatch fuzz test cross-checks the whole path against
+// the bit-at-a-time reference, so a wrong constant cannot survive CI.
+//
+// Built without -march flags: the kernel carries a function-level target
+// attribute and callers must gate on crc32_pclmul_supported(), so the
+// binary still runs on pre-PCLMUL hardware (portable slicing-by-8 path).
+
+#include "common/crc32_hw.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace synergy::detail {
+
+bool crc32_pclmul_supported() {
+  static const bool supported =
+      __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+  return supported;
+}
+
+namespace {
+
+// x^(64*8+64) and x^(64*8) mod P (four-accumulator stride), x^(2*64+64)
+// and x^(2*64) mod P (single-register stride), x^96 mod P, and the
+// Barrett pair (floor(x^64/P), P) — all bit-reflected.
+alignas(16) constexpr std::uint64_t kK1K2[2] = {0x0154442bd4, 0x01c6e41596};
+alignas(16) constexpr std::uint64_t kK3K4[2] = {0x01751997d0, 0x00ccaa009e};
+alignas(16) constexpr std::uint64_t kK5K0[2] = {0x0163cd6124, 0x0000000000};
+alignas(16) constexpr std::uint64_t kPoly[2] = {0x01db710641, 0x01f7011641};
+
+}  // namespace
+
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t crc32_pclmul(
+    std::uint32_t state, const std::uint8_t* data, std::size_t n) {
+  const __m128i* buf = reinterpret_cast<const __m128i*>(data);
+
+  __m128i x1 = _mm_loadu_si128(buf + 0);
+  __m128i x2 = _mm_loadu_si128(buf + 1);
+  __m128i x3 = _mm_loadu_si128(buf + 2);
+  __m128i x4 = _mm_loadu_si128(buf + 3);
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(state)));
+
+  __m128i k = _mm_load_si128(reinterpret_cast<const __m128i*>(kK1K2));
+  buf += 4;
+  n -= 64;
+
+  // Fold 64 bytes per iteration across the four accumulators.
+  while (n >= 64) {
+    __m128i x5 = _mm_clmulepi64_si128(x1, k, 0x00);
+    __m128i x6 = _mm_clmulepi64_si128(x2, k, 0x00);
+    __m128i x7 = _mm_clmulepi64_si128(x3, k, 0x00);
+    __m128i x8 = _mm_clmulepi64_si128(x4, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), _mm_loadu_si128(buf + 0));
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), _mm_loadu_si128(buf + 1));
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), _mm_loadu_si128(buf + 2));
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), _mm_loadu_si128(buf + 3));
+    buf += 4;
+    n -= 64;
+  }
+
+  // Fold the four accumulators into one.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kK3K4));
+  __m128i t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x2);
+  t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x3);
+  t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x4);
+
+  // Single-register folds over the remaining 16-byte blocks.
+  while (n >= 16) {
+    t = _mm_clmulepi64_si128(x1, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, t), _mm_loadu_si128(buf));
+    buf += 1;
+    n -= 16;
+  }
+
+  // Fold 128 -> 64 bits.
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  t = _mm_clmulepi64_si128(x1, k, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, t);
+
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kK5K0));
+  t = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+
+  // Barrett reduction 64 -> 32 bits.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kPoly));
+  t = _mm_and_si128(x1, mask32);
+  t = _mm_clmulepi64_si128(t, k, 0x10);
+  t = _mm_and_si128(t, mask32);
+  t = _mm_clmulepi64_si128(t, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+}  // namespace synergy::detail
+
+#else  // non-x86: no hardware kernel; the dispatcher never calls it.
+
+namespace synergy::detail {
+
+bool crc32_pclmul_supported() { return false; }
+
+std::uint32_t crc32_pclmul(std::uint32_t state, const std::uint8_t*,
+                           std::size_t) {
+  return state;
+}
+
+}  // namespace synergy::detail
+
+#endif

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "common/crc32_hw.hpp"
+
 namespace synergy {
 
 const Bytes& SharedBytes::empty_bytes() {
@@ -188,11 +190,12 @@ inline std::uint32_t load_le32(const std::uint8_t* p) {
          std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24;
 }
 
-}  // namespace
-
-std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+// Raw-state slicing-by-8 update: no 0xFFFFFFFF pre/post conditioning, so
+// the dispatcher can run the PCLMUL kernel over the aligned middle of a
+// buffer and finish the tail here on the same shift-register state.
+std::uint32_t crc32_update_portable(std::uint32_t c, const std::uint8_t* data,
+                                    std::size_t n) {
   const auto& t = crc32_tables().t;
-  std::uint32_t c = 0xFFFFFFFFu;
   while (n >= 8) {
     const std::uint32_t one = load_le32(data) ^ c;
     const std::uint32_t two = load_le32(data + 4);
@@ -205,7 +208,32 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
   while (n--) {
     c = t[0][(c ^ *data++) & 0xFF] ^ (c >> 8);
   }
-  return c ^ 0xFFFFFFFFu;
+  return c;
+}
+
+// Minimum size worth the PCLMUL kernel: the kernel needs 64 bytes to seed
+// its four accumulators, and below that the table path wins anyway.
+constexpr std::size_t kCrcHwMin = 64;
+
+bool g_crc_force_portable = false;
+
+}  // namespace
+
+void crc32_force_portable(bool force) { g_crc_force_portable = force; }
+
+bool crc32_hw_active() {
+  return !g_crc_force_portable && detail::crc32_pclmul_supported();
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  if (n >= kCrcHwMin && crc32_hw_active()) {
+    const std::size_t chunk = n & ~std::size_t{15};
+    c = detail::crc32_pclmul(c, data, chunk);
+    data += chunk;
+    n -= chunk;
+  }
+  return crc32_update_portable(c, data, n) ^ 0xFFFFFFFFu;
 }
 
 std::uint32_t crc32(const Bytes& data) { return crc32(data.data(), data.size()); }

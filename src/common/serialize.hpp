@@ -207,13 +207,25 @@ class SnapshotCache {
 std::uint64_t fingerprint(const Bytes& data);
 
 /// CRC-32 (IEEE 802.3, reflected) over a byte span. Guards stable
-/// checkpoint records and injected-fault detection paths. Implemented with
-/// slicing-by-8 (eight 256-entry tables, generated once at startup from
-/// the same 0xEDB88320 polynomial) — bit-identical to the byte-at-a-time
+/// checkpoint records and injected-fault detection paths. Dispatches at
+/// runtime: on x86 hosts with PCLMULQDQ, buffers of 64+ bytes go through
+/// a carry-less-multiply folding kernel (~10x the table throughput);
+/// everything else — short buffers, tails, non-x86 — uses slicing-by-8
+/// (eight 256-entry tables generated at startup from the same 0xEDB88320
+/// polynomial). Both paths are bit-identical to the byte-at-a-time
 /// reference below, so existing stable blobs and torn-write detection are
 /// unaffected.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
 std::uint32_t crc32(const Bytes& data);
+
+/// Test hook: force the portable slicing-by-8 path even where the PCLMUL
+/// kernel is available, so CI keeps the fallback covered on hardware that
+/// would otherwise never execute it. Not thread-safe; tests only.
+void crc32_force_portable(bool force);
+
+/// True iff crc32() will use the hardware kernel for large inputs right
+/// now (CPU support present and not forced portable).
+bool crc32_hw_active();
 
 /// Byte-at-a-time reference implementation. Kept as the equivalence-test
 /// oracle for the sliced hot-path crc32 above; not for production use.

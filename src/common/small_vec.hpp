@@ -1,0 +1,199 @@
+// Small-buffer vector for the allocation-lean hot paths.
+//
+// The message path keeps many short, mostly-bounded sequences per process:
+// unacked-send logs, per-peer consumption seqs, FIFO watermarks, message
+// view logs. A std::vector pays one heap allocation per container (and a
+// node-based map pays one per *element*); SmallVec keeps the first N
+// elements in the object itself and only touches the heap once the
+// sequence outgrows the inline buffer — by which point the cost is
+// amortized growth, never per-element.
+//
+// Deliberately minimal: contiguous storage, vector-like API surface used
+// by the message path (push/emplace/insert/erase/clear/assign), move-aware
+// for non-trivial payloads (Message holds a SharedBytes). Not a drop-in
+// std::vector: no allocator, no exceptions-correct strong guarantee on
+// growth (the payloads here have noexcept moves).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace synergy {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      release_heap();
+      data_ = inline_data();
+      cap_ = N;
+      size_ = 0;
+      steal(other);
+    }
+    return *this;
+  }
+  ~SmallVec() {
+    destroy_all();
+    release_heap();
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(cap_ * 2);
+    T* p = ::new (static_cast<void*>(data_ + size_)) T(
+        std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  /// Insert before `pos`; shifts the tail one slot right.
+  iterator insert(const_iterator pos, T v) {
+    const std::size_t idx = static_cast<std::size_t>(pos - data_);
+    if (size_ == cap_) grow(cap_ * 2);
+    if (idx == size_) {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(v));
+    } else {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+      for (std::size_t i = size_ - 1; i > idx; --i) {
+        data_[i] = std::move(data_[i - 1]);
+      }
+      data_[idx] = std::move(v);
+    }
+    ++size_;
+    return data_ + idx;
+  }
+
+  /// Erase the element at `pos`; shifts the tail one slot left.
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+
+  /// Erase [first, last); shifts the tail left.
+  iterator erase(const_iterator first, const_iterator last) {
+    const std::size_t b = static_cast<std::size_t>(first - data_);
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    for (std::size_t i = b + n; i < size_; ++i) {
+      data_[i - n] = std::move(data_[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) pop_back();
+    return data_ + b;
+  }
+
+  void clear() {
+    destroy_all();
+    size_ = 0;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    reserve(n);
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  static_assert(N >= 1, "SmallVec needs a non-empty inline buffer");
+
+  T* inline_data() { return reinterpret_cast<T*>(inline_); }
+  bool on_heap() const {
+    return data_ != reinterpret_cast<const T*>(inline_);
+  }
+
+  void destroy_all() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+  }
+  void release_heap() {
+    if (on_heap()) ::operator delete(data_);
+  }
+
+  void grow(std::size_t want) {
+    std::size_t cap = cap_;
+    while (cap < want) cap *= 2;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = fresh;
+    cap_ = cap;
+  }
+
+  /// Move-from for ctor/assign: steal the heap buffer outright, or move
+  /// the inline elements one by one. `other` ends up empty either way.
+  void steal(SmallVec& other) {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace synergy

@@ -169,6 +169,9 @@ MissionReport run_mission(const CampaignConfig& config,
   report.handoffs = system.handoffs();
   report.handoff_aborted_writes = system.handoff_aborted_writes();
   report.late_deliveries = system.net().late_deliveries();
+  report.net_dropped_loss = system.net().dropped_loss();
+  report.net_dropped_no_receiver = system.net().dropped_no_receiver();
+  report.net_dropped_cancelled = system.net().dropped_cancelled();
   for (std::uint32_t p = 0; p < kNumCanonicalProcesses; ++p) {
     ProcessNode& n = system.node(ProcessId{p});
     report.unacked_high_water =
@@ -240,6 +243,9 @@ bool operator==(const MissionReport& a, const MissionReport& b) {
   return a.seed == b.seed && a.ok == b.ok && a.failures == b.failures &&
          a.injected_net == b.injected_net &&
          a.late_deliveries == b.late_deliveries &&
+         a.net_dropped_loss == b.net_dropped_loss &&
+         a.net_dropped_no_receiver == b.net_dropped_no_receiver &&
+         a.net_dropped_cancelled == b.net_dropped_cancelled &&
          a.write_retries == b.write_retries &&
          a.failed_writes == b.failed_writes &&
          a.torn_writes == b.torn_writes &&
@@ -296,6 +302,9 @@ std::string format_mission_report(const CampaignConfig& config,
     out << "mission " << index << " seed=" << report.seed
         << (report.ok ? " ok" : " FAIL") << " net=" << report.injected_net
         << " late=" << report.late_deliveries
+        << " drop_loss=" << report.net_dropped_loss
+        << " drop_norecv=" << report.net_dropped_no_receiver
+        << " drop_cancel=" << report.net_dropped_cancelled
         << " retries=" << report.write_retries
         << " torn=" << report.torn_writes
         << " latent=" << report.latent_corruptions

@@ -63,6 +63,13 @@ struct MissionReport {
   // Adversity actually experienced.
   std::uint64_t injected_net = 0;
   std::uint64_t late_deliveries = 0;
+  // Base-network drop tally, split by cause (summing them reproduces the
+  // old conflated `dropped()` figure): probabilistic/injected frame loss,
+  // deliveries with no attached receiver, and in-flight frames cancelled
+  // by a crash's drop_in_transit_to.
+  std::uint64_t net_dropped_loss = 0;
+  std::uint64_t net_dropped_no_receiver = 0;
+  std::uint64_t net_dropped_cancelled = 0;
   std::uint64_t write_retries = 0;
   std::uint64_t failed_writes = 0;
   std::uint64_t torn_writes = 0;

@@ -53,10 +53,10 @@ GeneralEngine::GeneralEngine(const Topology& topology, ProcessId self,
   }
 }
 
-void GeneralEngine::trace(TraceKind kind, std::string detail, std::uint64_t a,
-                          std::uint64_t b) const {
+void GeneralEngine::trace(TraceKind kind, std::string_view detail,
+                          std::uint64_t a, std::uint64_t b) const {
   if (services_.trace) {
-    services_.trace->record(current_time(), self(), kind, std::move(detail),
+    services_.trace->record(current_time(), self(), kind, std::string(detail),
                             a, b);
   }
 }
@@ -222,8 +222,10 @@ void GeneralEngine::send_internal_multicast(std::uint64_t payload,
       const std::uint64_t seq = services_.transport->send(m);
       sent_views_.push_back(GView{m.receiver, seq, msg_sn_,
                                   MsgKind::kInternal, suspect, cv});
-      trace(TraceKind::kSend,
-            "internal->" + topology_.process_name(m.receiver), msg_sn_, seq);
+      if (tracing()) {
+        trace(TraceKind::kSend,
+              "internal->" + topology_.process_name(m.receiver), msg_sn_, seq);
+      }
     }
     // Mirror to the peer's shadow, which consumes the same inputs.
     if (topology_.has_shadow(peer)) {
@@ -386,8 +388,12 @@ void GeneralEngine::apply_validation(const ContamVector& coverage) {
     auto it = validated_.find(component_);
     if (it != validated_.end()) {
       const MsgSeq vr = it->second;
-      std::erase_if(msg_log_,
-                    [vr](const Message& logged) { return logged.sn <= vr; });
+      msg_log_.erase(
+          std::remove_if(msg_log_.begin(), msg_log_.end(),
+                         [vr](const Message& logged) {
+                           return logged.sn <= vr;
+                         }),
+          msg_log_.end());
     }
   }
 
@@ -485,7 +491,8 @@ CheckpointRecord GeneralEngine::make_record(CkptKind kind) const {
   rec.app_state = services_.app->snapshot_shared();
   rec.protocol_state = snapshot_protocol_state();
   rec.transport_state = services_.transport->snapshot_state_shared();
-  rec.unacked = services_.transport->unacked();
+  const std::span<const Message> unacked = services_.transport->unacked();
+  rec.unacked.assign(unacked.begin(), unacked.end());
   return rec;
 }
 
@@ -596,8 +603,8 @@ std::size_t GeneralEngine::takeover() {
   std::size_t replayed = 0;
   auto it = validated_.find(component_);
   const MsgSeq vr = it == validated_.end() ? 0 : it->second;
-  std::vector<Message> log;
-  log.swap(msg_log_);
+  SmallVec<Message, 4> log = std::move(msg_log_);
+  msg_log_.clear();  // moved-from is already empty; be explicit
   for (Message& m : log) {
     if (m.sn <= vr) {
       trace(TraceKind::kReplayDrop, std::string(to_string(m.kind)), m.sn);
@@ -629,7 +636,7 @@ Bytes GeneralEngine::snapshot_protocol_state() const {
   contam_serialize(validated_, w);
   w.u32(static_cast<std::uint32_t>(msg_log_.size()));
   for (const auto& m : msg_log_) m.serialize(w);
-  auto write_views = [&w](const std::vector<GView>& views) {
+  auto write_views = [&w](const SmallVec<GView, 8>& views) {
     w.u32(static_cast<std::uint32_t>(views.size()));
     for (const auto& v : views) {
       w.u32(v.peer.value());
@@ -660,7 +667,7 @@ void GeneralEngine::restore_protocol_state(const Bytes& state) {
   for (std::uint32_t i = 0; i < logs; ++i) {
     msg_log_.push_back(Message::deserialize(r));
   }
-  auto read_views = [&r](std::vector<GView>& views) {
+  auto read_views = [&r](SmallVec<GView, 8>& views) {
     views.clear();
     const std::uint32_t n = r.u32();
     views.reserve(n);

@@ -26,6 +26,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "general/contam.hpp"
 #include "general/topology.hpp"
 #include "mdcd/checkpointable.hpp"
@@ -115,9 +116,9 @@ class GeneralEngine final : public CheckpointableProcess {
   // ---- Oracle / diagnostics -------------------------------------------------
   const ContamVector& absorbed() const { return absorbed_; }
   const ContamVector& validated() const { return validated_; }
-  const std::vector<GView>& sent_views() const { return sent_views_; }
-  const std::vector<GView>& recv_views() const { return recv_views_; }
-  const std::vector<Message>& suppressed_log() const { return msg_log_; }
+  const SmallVec<GView, 8>& sent_views() const { return sent_views_; }
+  const SmallVec<GView, 8>& recv_views() const { return recv_views_; }
+  const SmallVec<Message, 4>& suppressed_log() const { return msg_log_; }
   MsgSeq msg_sn() const { return msg_sn_; }
   bool app_tainted() const { return services_.app->tainted(); }
 
@@ -169,8 +170,9 @@ class GeneralEngine final : public CheckpointableProcess {
   void refresh_best_anchor();
 
   void send_internal_multicast(std::uint64_t payload, bool tainted);
-  void trace(TraceKind kind, std::string detail = {}, std::uint64_t a = 0,
+  void trace(TraceKind kind, std::string_view detail = {}, std::uint64_t a = 0,
              std::uint64_t b = 0) const;
+  bool tracing() const { return services_.trace != nullptr; }
 
   const Topology& topology_;
   GProcessKind kind_;
@@ -196,10 +198,10 @@ class GeneralEngine final : public CheckpointableProcess {
   };
   static constexpr std::size_t kMaxAnchorCandidates = 64;
   std::deque<AnchorCandidate> anchor_candidates_;
-  std::vector<Message> msg_log_;  // shadow suppression log
+  SmallVec<Message, 4> msg_log_;  // shadow suppression log
   std::set<std::uint32_t> failed_over_;
-  std::vector<GView> sent_views_;
-  std::vector<GView> recv_views_;
+  SmallVec<GView, 8> sent_views_;
+  SmallVec<GView, 8> recv_views_;
   std::function<StableSeq()> ndc_provider_ = [] { return StableSeq{0}; };
   std::function<void()> contamination_cleared_;
 };

@@ -139,11 +139,12 @@ void FaultyNetwork::send(Message m) {
     // check: CRC mismatch (guaranteed for a single-bit flip) or decode
     // failure discards the frame. The sender keeps the message in its
     // unacked log; recovery or retransmission restores it later.
-    ByteWriter w;
+    flip_writer_.clear();
     m.sent_at = sim().now();
-    m.serialize(w);
-    const std::uint32_t sent_crc = crc32(w.data());
-    Bytes frame = w.take();
+    m.serialize(flip_writer_);
+    const std::uint32_t sent_crc = crc32(flip_writer_.data());
+    flip_frame_.assign(flip_writer_.data().begin(), flip_writer_.data().end());
+    Bytes& frame = flip_frame_;
     const auto byte = static_cast<std::size_t>(fault_rng_.uniform_int(
         0, static_cast<std::int64_t>(frame.size()) - 1));
     const auto bit = static_cast<int>(fault_rng_.uniform_int(0, 7));

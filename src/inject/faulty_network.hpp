@@ -133,6 +133,11 @@ class FaultyNetwork final : public Network {
   std::uint64_t delays_ = 0;
   std::uint64_t bitflips_ = 0;
   std::uint64_t corrupt_dropped_ = 0;
+  /// Scratch buffers for the bitflip encode/decode round-trip, reused
+  /// across flips so a corruption-heavy campaign doesn't re-allocate an
+  /// encode buffer per injected flip.
+  ByteWriter flip_writer_;
+  Bytes flip_frame_;
 };
 
 }  // namespace synergy

@@ -17,10 +17,10 @@ MdcdEngine::MdcdEngine(Role role, const MdcdConfig& config,
   SYNERGY_EXPECTS(services_.app != nullptr);
 }
 
-void MdcdEngine::trace(TraceKind kind, std::string detail, std::uint64_t a,
-                       std::uint64_t b) const {
+void MdcdEngine::trace(TraceKind kind, std::string_view detail,
+                       std::uint64_t a, std::uint64_t b) const {
   if (services_.trace) {
-    services_.trace->record(now(), self(), kind, std::move(detail), a, b);
+    services_.trace->record(now(), self(), kind, std::string(detail), a, b);
   }
 }
 
@@ -383,8 +383,10 @@ void MdcdEngine::send_recorded(Message m, bool suspect) {
     sent_views_.add(MsgView{to, seq, sn, kind, suspect, contam});
     bump_protocol_version();
   }
-  trace(TraceKind::kSend, std::string(to_string(kind)) + "->" + to_string(to),
-        sn, seq);
+  if (tracing()) {
+    trace(TraceKind::kSend,
+          std::string(to_string(kind)) + "->" + to_string(to), sn, seq);
+  }
 }
 
 void MdcdEngine::record_recv(const Message& m, bool suspect) {
@@ -419,7 +421,8 @@ CheckpointRecord MdcdEngine::make_record(CkptKind kind) const {
         return snapshot_protocol_state();
       });
   rec.transport_state = services_.transport->snapshot_state_shared();
-  rec.unacked = services_.transport->unacked();
+  const std::span<const Message> unacked = services_.transport->unacked();
+  rec.unacked.assign(unacked.begin(), unacked.end());
   return rec;
 }
 

@@ -246,8 +246,11 @@ class MdcdEngine : public CheckpointableProcess {
 
   void record_recv(const Message& m, bool suspect);
 
-  void trace(TraceKind kind, std::string detail = {}, std::uint64_t a = 0,
+  /// Detail is a view: no std::string is materialized unless tracing is
+  /// actually enabled (campaigns run with it off; this is per-message hot).
+  void trace(TraceKind kind, std::string_view detail = {}, std::uint64_t a = 0,
              std::uint64_t b = 0) const;
+  bool tracing() const { return services_.trace != nullptr; }
   /// Roles call this whenever they mutate serialized role state outside
   /// the dispatched event hooks (which bump automatically).
   void bump_protocol_version() { ++protocol_version_; }

@@ -82,8 +82,12 @@ void P1SdwEngine::do_passed_at(const Message& m) {
   // VR := last valid message SN of P1act; reclaim the validated prefix of
   // the suppressed-message log (Figure 9).
   vr_p1act_ = std::max(vr_p1act_, m.sn);
-  std::erase_if(msg_log_,
-                [this](const Message& logged) { return logged.sn <= vr_p1act_; });
+  msg_log_.erase(
+      std::remove_if(msg_log_.begin(), msg_log_.end(),
+                     [this](const Message& logged) {
+                       return logged.sn <= vr_p1act_;
+                     }),
+      msg_log_.end());
   note_validation(m.sn);
   if (dirty_ && validation_covers_dirt(m.sn)) {
     clear_dirty();
@@ -115,8 +119,8 @@ std::size_t P1SdwEngine::takeover() {
   bump_protocol_version();  // active_ + msg_log_ are serialized role state
   trace(TraceKind::kTakeover);
   std::size_t replayed = 0;
-  std::vector<Message> log;
-  log.swap(msg_log_);
+  SmallVec<Message, 4> log = std::move(msg_log_);
+  msg_log_.clear();  // moved-from is already empty; be explicit
   for (Message& m : log) {
     if (m.sn <= vr_p1act_) {
       // P1act's equivalent message was validated and consumed; re-sending

@@ -9,8 +9,7 @@
 // of the computations P1act got wrong.
 #pragma once
 
-#include <vector>
-
+#include "common/small_vec.hpp"
 #include "mdcd/engine.hpp"
 
 namespace synergy {
@@ -24,7 +23,7 @@ class P1SdwEngine final : public MdcdEngine {
   /// Last valid message SN of P1act (paper: VR_P1act).
   MsgSeq vr_p1act() const { return vr_p1act_; }
 
-  const std::vector<Message>& suppressed_log() const { return msg_log_; }
+  const SmallVec<Message, 4>& suppressed_log() const { return msg_log_; }
 
   /// Assume the active role and replay logged messages beyond VR. Invoked
   /// by the software recovery manager after rollback/roll-forward
@@ -43,7 +42,7 @@ class P1SdwEngine final : public MdcdEngine {
 
   bool active_ = false;
   MsgSeq vr_p1act_ = 0;
-  std::vector<Message> msg_log_;
+  SmallVec<Message, 4> msg_log_;
 };
 
 }  // namespace synergy

@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "common/serialize.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
 
@@ -46,7 +46,10 @@ class ViewLog {
   /// watermark is covered (contam_sn <= watermark) become valid.
   std::size_t validate_covered(MsgSeq watermark);
 
-  const std::vector<MsgView>& entries() const { return views_; }
+  /// Inline-small storage: short logs (the steady state between
+  /// checkpoints) never touch the heap.
+  using Entries = SmallVec<MsgView, 8>;
+  const Entries& entries() const { return views_; }
   std::size_t size() const { return views_.size(); }
   void clear() { views_.clear(); }
 
@@ -54,7 +57,7 @@ class ViewLog {
   static ViewLog deserialize(ByteReader& r);
 
  private:
-  std::vector<MsgView> views_;
+  Entries views_;
 };
 
 }  // namespace synergy

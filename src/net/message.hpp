@@ -73,7 +73,10 @@ struct Message {
 
   /// Protocol-extension payload (e.g. the generalized protocol's
   /// per-source contamination vector). Empty for the canonical protocols.
-  Bytes aux;
+  /// Refcounted: copying a message (unacked log, duplicate injection,
+  /// checkpoint records) shares the payload instead of deep-copying it;
+  /// the buffer is immutable once attached.
+  SharedBytes aux;
 
   /// True (simulator) time at which the message was handed to the network.
   TimePoint sent_at;

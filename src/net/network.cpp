@@ -1,7 +1,6 @@
 #include "net/network.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/assert.hpp"
 
@@ -71,13 +70,40 @@ Network::Network(Simulator& sim, const NetworkParams& params, Rng rng)
                   params.loss_probability <= 1.0);
 }
 
+Network::Receiver& Network::receiver(ProcessId p) {
+  const std::size_t slot = slot_of(p);
+  while (slot >= receivers_.size()) receivers_.emplace_back();
+  return receivers_[slot];
+}
+
+std::uint32_t Network::acquire_frame() {
+  if (free_head_ != kNoFrame) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = frames_[idx].next_free;
+    return idx;
+  }
+  frames_.emplace_back();
+  return static_cast<std::uint32_t>(frames_.size() - 1);
+}
+
+void Network::release_frame(std::uint32_t idx) {
+  Frame& f = frames_[idx];
+  f.msg = Message{};  // drop any aux refcount now, not at reuse
+  ++f.gen;            // invalidates chain links held by a running drain
+  f.live = false;
+  f.head = false;
+  f.next = kNoFrame;
+  f.next_free = free_head_;
+  free_head_ = idx;
+}
+
 void Network::attach(ProcessId p, Handler handler) {
   SYNERGY_EXPECTS(handler != nullptr);
-  handlers_[p] = std::move(handler);
+  receiver(p).handler = std::move(handler);
 }
 
 void Network::detach(ProcessId p) {
-  handlers_.erase(p);
+  receiver(p).handler = nullptr;
   drop_in_transit_to(p);
 }
 
@@ -86,7 +112,7 @@ void Network::send(Message m) {
   ++sent_;
   if (params_.loss_probability > 0.0 &&
       rng_.bernoulli(params_.loss_probability)) {
-    ++dropped_;
+    ++dropped_loss_;
     return;
   }
   inject(std::move(m), rng_.uniform(params_.tmin, params_.tmax), params_.fifo);
@@ -94,48 +120,106 @@ void Network::send(Message m) {
 
 void Network::inject(Message m, Duration delay, bool respect_fifo) {
   TimePoint deliver_at = sim_.now() + delay;
+  const std::size_t rslot = slot_of(m.receiver);
+  Receiver& r = receiver(m.receiver);
   if (respect_fifo) {
-    auto key = std::make_pair(m.sender.value(), m.receiver.value());
-    auto it = last_delivery_.find(key);
-    if (it != last_delivery_.end()) deliver_at = std::max(deliver_at, it->second);
-    last_delivery_[key] = deliver_at;
+    const std::uint32_t sender = m.sender.value();
+    bool known = false;
+    for (auto& [s, t] : r.fifo) {
+      if (s != sender) continue;
+      deliver_at = std::max(deliver_at, t);
+      t = deliver_at;
+      known = true;
+      break;
+    }
+    if (!known) r.fifo.push_back({sender, deliver_at});
   }
-  const std::uint64_t id = next_delivery_id_++;
-  EventHandle h = sim_.schedule_at(deliver_at, [this, id] { deliver(id); });
-  pending_.emplace(id, PendingDelivery{std::move(m), h});
-  ++in_transit_;
-}
 
-void Network::deliver(std::uint64_t delivery_id) {
-  auto it = pending_.find(delivery_id);
-  SYNERGY_ASSERT(it != pending_.end());
-  Message m = std::move(it->second.msg);
-  pending_.erase(it);
-  --in_transit_;
-  const Duration lateness = (sim_.now() - m.sent_at) - params_.tmax;
-  if (lateness > Duration::zero()) {
-    ++late_deliveries_;
-    if (bound_observer_) bound_observer_(m, lateness);
-  }
-  auto h = handlers_.find(m.receiver);
-  if (h == handlers_.end()) {
-    ++dropped_;  // receiver crashed or is a sink with no recorder
+  const std::uint32_t idx = acquire_frame();
+  Frame& f = frames_[idx];
+  f.msg = std::move(m);
+  f.live = true;
+  ++in_transit_;
+
+  if (r.batch_head != kNoFrame && r.batch_time == deliver_at &&
+      r.batch_mark == sim_.schedules()) {
+    // Same receiver, same tick, and nothing has entered the event queue
+    // since the batch head was scheduled: chaining this frame at the tail
+    // delivers it in exactly the position its own event would have taken.
+    frames_[r.batch_tail].next = idx;
+    r.batch_tail = idx;
     return;
   }
-  ++delivered_;
-  h->second(m);
+
+  const std::uint32_t gen = f.gen;
+  f.head = true;
+  f.handle = sim_.schedule_at(
+      deliver_at, [this, idx, gen, rslot] {
+        deliver_chain(idx, gen, static_cast<std::uint32_t>(rslot));
+      });
+  r.batch_head = idx;
+  r.batch_tail = idx;
+  r.batch_time = deliver_at;
+  r.batch_mark = sim_.schedules();
+}
+
+void Network::deliver_chain(std::uint32_t head, std::uint32_t gen,
+                            std::uint32_t rslot) {
+  // This batch is no longer appendable (it is firing *now*); close the
+  // receiver's open-batch registry so a zero-delay send from a handler
+  // below schedules a fresh event instead of chaining onto a drained one.
+  {
+    Receiver& r = receivers_[rslot];
+    r.batch_head = kNoFrame;
+    r.batch_tail = kNoFrame;
+  }
+
+  std::uint32_t idx = head;
+  while (idx != kNoFrame) {
+    Frame& f = frames_[idx];
+    if (f.gen != gen || !f.live) break;  // chain freed mid-drain (crash)
+    Message m = std::move(f.msg);
+    const std::uint32_t next = f.next;
+    const std::uint32_t next_gen =
+        next != kNoFrame ? frames_[next].gen : 0;
+    release_frame(idx);  // before the handler: it may send (slot reuse)
+    --in_transit_;
+
+    const Duration lateness = (sim_.now() - m.sent_at) - params_.tmax;
+    if (lateness > Duration::zero()) {
+      ++late_deliveries_;
+      if (bound_observer_) bound_observer_(m, lateness);
+    }
+    // Re-read the handler per frame: a handler earlier in this chain may
+    // have detached (or re-attached) the receiver.
+    const Handler& h = receivers_[rslot].handler;
+    if (h) {
+      ++delivered_;
+      h(m);
+    } else {
+      ++dropped_no_receiver_;  // receiver crashed or is an unrecorded sink
+    }
+    idx = next;
+    gen = next_gen;
+  }
 }
 
 void Network::drop_in_transit_to(ProcessId p) {
-  std::vector<std::uint64_t> doomed;
-  for (const auto& [id, pd] : pending_) {
-    if (pd.msg.receiver == p) doomed.push_back(id);
-  }
-  for (auto id : doomed) {
-    sim_.cancel(pending_.at(id).handle);
-    pending_.erase(id);
+  Receiver& r = receiver(p);
+  // The deliveries backing the FIFO watermarks die below, so the
+  // watermarks must die with them: a post-restart send would otherwise be
+  // serialized behind the (possibly future) time of a delivery that was
+  // cancelled and never happened.
+  r.fifo.clear();
+  r.batch_head = kNoFrame;
+  r.batch_tail = kNoFrame;
+  for (std::uint32_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (!f.live || f.msg.receiver != p) continue;
+    if (f.head) sim_.cancel(f.handle);
+    release_frame(i);
     --in_transit_;
-    ++dropped_;
+    ++dropped_cancelled_;
   }
 }
 

@@ -51,17 +51,20 @@ void ReliableEndpoint::ack(const Message& m) {
   ++acks_sent_;
 }
 
-std::vector<Message> ReliableEndpoint::unacked() const {
+std::span<const Message> ReliableEndpoint::unacked() const {
   return core_.unacked();
 }
 
-void ReliableEndpoint::restore_unacked(const std::vector<Message>& msgs) {
+void ReliableEndpoint::restore_unacked(std::span<const Message> msgs) {
   core_.restore_unacked(msgs);
 }
 
 std::size_t ReliableEndpoint::resend_unacked(std::uint32_t epoch) {
-  const auto msgs = core_.prepare_resend(epoch);
-  for (const auto& m : msgs) {
+  // The view stays stable across the loop: net_.send only schedules
+  // simulator events, so no ack can settle (and mutate the log) before
+  // this call returns.
+  const std::span<const Message> msgs = core_.prepare_resend(epoch);
+  for (const Message& m : msgs) {
     net_.send(m);  // same transport_seq: receiver dedups if it consumed it
   }
   return msgs.size();

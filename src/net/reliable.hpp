@@ -21,7 +21,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <vector>
+#include <span>
 
 #include "common/serialize.hpp"
 #include "common/types.hpp"
@@ -64,11 +64,13 @@ class Transport {
   /// clears).
   virtual void ack(const Message& m) = 0;
 
-  /// Unacked-send log snapshot (ordered by transport_seq).
-  virtual std::vector<Message> unacked() const = 0;
+  /// Unacked-send log (ordered by transport_seq). A borrowed view into
+  /// the transport's own storage: valid until the next send/ack/restore.
+  /// Callers that need to keep it (checkpoint records) copy it out.
+  virtual std::span<const Message> unacked() const = 0;
 
   /// Replace the unacked log (hardware-fault recovery).
-  virtual void restore_unacked(const std::vector<Message>& msgs) = 0;
+  virtual void restore_unacked(std::span<const Message> msgs) = 0;
 
   /// Re-send every unacked message, re-stamped with `epoch` (the new
   /// recovery incarnation, so receivers don't fence them as stale).
@@ -106,8 +108,8 @@ class ReliableEndpoint final : public Transport {
   bool already_consumed(const Message& m) const override;
   void mark_consumed(const Message& m) override;
   void ack(const Message& m) override;
-  std::vector<Message> unacked() const override;
-  void restore_unacked(const std::vector<Message>& msgs) override;
+  std::span<const Message> unacked() const override;
+  void restore_unacked(std::span<const Message> msgs) override;
   std::size_t resend_unacked(std::uint32_t epoch) override;
   Bytes snapshot_state() const override;
   void restore_state(const Bytes& state) override;

@@ -13,10 +13,17 @@ Message TransportCore::prepare_send(Message m) {
   // Acks are not themselves acknowledged (no ack-of-ack regress); device
   // messages are fire-and-forget because the external world never replies.
   if (m.kind != MsgKind::kAck && m.receiver != kDeviceId) {
-    unacked_.emplace(m.transport_seq, m);
+    unacked_.push_back(m);  // transport_seq is monotone: stays sorted
     unacked_high_water_ = std::max(unacked_high_water_, unacked_.size());
   }
   return m;
+}
+
+void TransportCore::on_ack(std::uint64_t ack_of) {
+  const auto it = std::lower_bound(
+      unacked_.begin(), unacked_.end(), ack_of,
+      [](const Message& m, std::uint64_t seq) { return m.transport_seq < seq; });
+  if (it != unacked_.end() && it->transport_seq == ack_of) unacked_.erase(it);
 }
 
 Message TransportCore::make_ack(const Message& m) {
@@ -27,57 +34,78 @@ Message TransportCore::make_ack(const Message& m) {
   return ack;
 }
 
+const TransportCore::PeerConsumed* TransportCore::find_peer(
+    std::uint32_t peer) const {
+  const auto it = std::lower_bound(
+      consumed_.begin(), consumed_.end(), peer,
+      [](const PeerConsumed& pc, std::uint32_t p) { return pc.peer < p; });
+  if (it != consumed_.end() && it->peer == peer) return it;
+  return nullptr;
+}
+
+TransportCore::PeerConsumed& TransportCore::peer_entry(std::uint32_t peer) {
+  auto it = std::lower_bound(
+      consumed_.begin(), consumed_.end(), peer,
+      [](const PeerConsumed& pc, std::uint32_t p) { return pc.peer < p; });
+  if (it != consumed_.end() && it->peer == peer) return *it;
+  return *consumed_.insert(it, PeerConsumed{peer, {}});
+}
+
 bool TransportCore::already_consumed(const Message& m) const {
   SYNERGY_EXPECTS(m.kind != MsgKind::kAck);
-  auto it = consumed_.find(m.sender);
-  if (it == consumed_.end()) return false;
-  const bool dup = it->second.contains(m.transport_seq);
+  const PeerConsumed* pc = find_peer(m.sender.value());
+  if (pc == nullptr) return false;
+  const bool dup = std::binary_search(pc->seqs.begin(), pc->seqs.end(),
+                                      m.transport_seq);
   if (dup) ++dups_;
   return dup;
 }
 
 void TransportCore::mark_consumed(const Message& m) {
   SYNERGY_EXPECTS(m.kind != MsgKind::kAck);
-  consumed_[m.sender].insert(m.transport_seq);
-  ++version_;
+  ++version_;  // bump even on idempotent re-marks, like the old set insert
+  auto& seqs = peer_entry(m.sender.value()).seqs;
+  // Per-sender seqs arrive near-monotone, so the common case is a plain
+  // append; reorders/resends insert close to the tail.
+  if (seqs.empty() || m.transport_seq > seqs.back()) {
+    seqs.push_back(m.transport_seq);
+  } else {
+    const auto it =
+        std::lower_bound(seqs.begin(), seqs.end(), m.transport_seq);
+    if (it != seqs.end() && *it == m.transport_seq) return;  // idempotent
+    seqs.insert(it, m.transport_seq);
+  }
 }
 
-std::vector<Message> TransportCore::unacked() const {
-  std::vector<Message> out;
-  out.reserve(unacked_.size());
-  for (const auto& [seq, m] : unacked_) out.push_back(m);
-  return out;
-}
-
-void TransportCore::restore_unacked(const std::vector<Message>& msgs) {
-  unacked_.clear();
-  for (const auto& m : msgs) {
+void TransportCore::restore_unacked(std::span<const Message> msgs) {
+  unacked_.assign(msgs.begin(), msgs.end());
+  for (const Message& m : unacked_) {
     SYNERGY_EXPECTS(m.sender == self_);
     next_transport_seq_ = std::max(next_transport_seq_, m.transport_seq + 1);
-    unacked_.emplace(m.transport_seq, m);
   }
+  std::sort(unacked_.begin(), unacked_.end(),
+            [](const Message& a, const Message& b) {
+              return a.transport_seq < b.transport_seq;
+            });
   unacked_high_water_ = std::max(unacked_high_water_, unacked_.size());
   ++version_;  // next_transport_seq_ may have moved
 }
 
-std::vector<Message> TransportCore::prepare_resend(std::uint32_t epoch) {
-  std::vector<Message> out;
-  out.reserve(unacked_.size());
-  for (auto& [seq, m] : unacked_) {
+std::span<const Message> TransportCore::prepare_resend(std::uint32_t epoch) {
+  for (Message& m : unacked_) {
     m.epoch = epoch;  // new incarnation: receivers must not fence these
-    out.push_back(m);
   }
-  return out;
+  return unacked();
 }
 
 Bytes TransportCore::snapshot_state() const {
   ByteWriter w;
   w.u64(next_transport_seq_);
   w.u32(static_cast<std::uint32_t>(consumed_.size()));
-  for (const auto& [peer, seqs] : consumed_) {
-    w.u32(peer.value());
-    w.u32(static_cast<std::uint32_t>(seqs.size()));
-    for (auto s : seqs) w.u64(s);
+  for (const PeerConsumed& pc : consumed_) {
+    w.u32(pc.peer);
+    w.u32(static_cast<std::uint32_t>(pc.seqs.size()));
+    for (auto s : pc.seqs) w.u64(s);
   }
   return w.take();
 }
@@ -92,10 +120,11 @@ void TransportCore::restore_state(const Bytes& state) {
   consumed_.clear();
   const std::uint32_t peers = r.u32();
   for (std::uint32_t i = 0; i < peers; ++i) {
-    const ProcessId peer{r.u32()};
+    const std::uint32_t peer = r.u32();
     const std::uint32_t n = r.u32();
-    auto& seqs = consumed_[peer];
-    for (std::uint32_t j = 0; j < n; ++j) seqs.insert(r.u64());
+    auto& seqs = peer_entry(peer).seqs;
+    seqs.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) seqs.push_back(r.u64());
   }
   ++version_;
 }

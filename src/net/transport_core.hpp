@@ -5,14 +5,22 @@
 // stamping, the unacked-send log the TB protocols checkpoint, ack
 // matching, duplicate suppression, and checkpointable snapshots. The host
 // supplies only the wire (how a stamped message physically leaves).
+//
+// Storage is allocation-lean (every application send and consumption used
+// to cost a map/set node): the unacked log is a small vector kept sorted
+// by transport_seq (appends are monotone; acks binary-search), and the
+// per-peer consumption sets are sorted small vectors of seqs (arrivals
+// are near-monotone per sender, so inserts land at or near the tail).
+// Both keep the exact iteration order of the ordered containers they
+// replaced, so snapshot bytes and checkpoint contents are unchanged.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <span>
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
 
@@ -30,7 +38,7 @@ class TransportCore {
   Message prepare_send(Message m);
 
   /// An acknowledgment arrived: settle the matching unacked entry.
-  void on_ack(std::uint64_t ack_of) { unacked_.erase(ack_of); }
+  void on_ack(std::uint64_t ack_of);
 
   /// Build the acknowledgment for a received message (empty optionality is
   /// signalled by kDeviceId senders — the caller skips those).
@@ -39,12 +47,16 @@ class TransportCore {
   bool already_consumed(const Message& m) const;
   void mark_consumed(const Message& m);
 
-  std::vector<Message> unacked() const;
-  void restore_unacked(const std::vector<Message>& msgs);
+  /// Unacked-send log, ordered by transport_seq. Borrowed view into the
+  /// core's own storage — valid until the next send/ack/restore.
+  std::span<const Message> unacked() const {
+    return {unacked_.data(), unacked_.size()};
+  }
+  void restore_unacked(std::span<const Message> msgs);
 
-  /// Re-stamp every unacked message with `epoch` and hand copies back for
-  /// the host to put on the wire.
-  std::vector<Message> prepare_resend(std::uint32_t epoch);
+  /// Re-stamp every unacked message with `epoch` in place and hand back
+  /// the log for the host to put copies on the wire.
+  std::span<const Message> prepare_resend(std::uint32_t epoch);
 
   Bytes snapshot_state() const;
   void restore_state(const Bytes& state);
@@ -71,13 +83,21 @@ class TransportCore {
   }
 
  private:
+  /// Consumption log for one peer: sorted transport seqs. Peers are kept
+  /// sorted by id so snapshot iteration matches the old std::map order.
+  struct PeerConsumed {
+    std::uint32_t peer;
+    SmallVec<std::uint64_t, 8> seqs;
+  };
+  const PeerConsumed* find_peer(std::uint32_t peer) const;
+  PeerConsumed& peer_entry(std::uint32_t peer);
+
   ProcessId self_;
   std::uint64_t next_transport_seq_ = 1;
   std::uint64_t version_ = 0;
-  // Ordered containers keep snapshots and checkpoints deterministic.
-  std::map<std::uint64_t, Message> unacked_;
+  SmallVec<Message, 4> unacked_;  // sorted by transport_seq
   std::size_t unacked_high_water_ = 0;
-  std::map<ProcessId, std::set<std::uint64_t>> consumed_;
+  SmallVec<PeerConsumed, 4> consumed_;  // sorted by peer id
   mutable std::uint64_t dups_ = 0;
   mutable SnapshotCache cache_;
 };

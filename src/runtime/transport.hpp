@@ -32,13 +32,15 @@ class ThreadTransport final : public Transport {
     send(TransportCore::make_ack(m));
   }
 
-  std::vector<Message> unacked() const override { return core_.unacked(); }
-  void restore_unacked(const std::vector<Message>& msgs) override {
+  std::span<const Message> unacked() const override {
+    return core_.unacked();
+  }
+  void restore_unacked(std::span<const Message> msgs) override {
     core_.restore_unacked(msgs);
   }
   std::size_t resend_unacked(std::uint32_t epoch) override {
     const auto msgs = core_.prepare_resend(epoch);
-    for (const auto& m : msgs) bus_.post(m);
+    for (const Message& m : msgs) bus_.post(m);
     return msgs.size();
   }
   Bytes snapshot_state() const override { return core_.snapshot_state(); }

@@ -75,6 +75,13 @@ class Simulator {
   /// Number of events executed so far (for sanity checks in tests).
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Monotone count of schedule_at/schedule_after calls ever made. Two
+  /// reads returning the same value bracket a window in which *nothing*
+  /// entered the event queue — the network's same-tick delivery batching
+  /// uses this to prove an appended message cannot be overtaken by an
+  /// intervening event at the same timestamp.
+  std::uint64_t schedules() const { return next_seq_; }
+
   /// Pending (non-cancelled) event count.
   std::size_t pending() const { return live_; }
 

@@ -71,7 +71,11 @@ std::optional<CheckpointRecord> FileStableStore::committed_for(
   ByteReader r(data);
   // Checked decode: a truncated or bit-rotted checkpoint file is reported
   // as absent (caller falls back to an older retained file), never fatal.
-  return CheckpointRecord::try_deserialize(r);
+  // The file must hold exactly one record — trailing garbage after a
+  // CRC-clean record is still a damaged file.
+  auto rec = CheckpointRecord::try_deserialize(r);
+  if (rec && !r.exhausted()) rec.reset();
+  return rec;
 }
 
 StableSeq FileStableStore::latest_ndc() const {

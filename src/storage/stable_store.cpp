@@ -134,6 +134,11 @@ std::optional<CheckpointRecord> StableStore::decode(
     const Bytes& encoded) const {
   ByteReader r(encoded);
   auto rec = CheckpointRecord::try_deserialize(r);
+  // Record-boundary check: a stored blob is exactly one record. Trailing
+  // bytes mean the blob is not what the writer produced (overlong torn
+  // read, appended garbage) even when the record's own CRC happens to
+  // pass — treat it as corrupt, never hand back state plus junk.
+  if (rec && !r.exhausted()) rec.reset();
   if (!rec) ++corrupt_reads_;
   return rec;
 }
@@ -152,7 +157,7 @@ StableSeq StableStore::latest_ndc() const {
 StableSeq StableStore::latest_valid_ndc() const {
   for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
     ByteReader r(it->encoded);
-    if (CheckpointRecord::try_deserialize(r)) return it->ndc;
+    if (CheckpointRecord::try_deserialize(r) && r.exhausted()) return it->ndc;
   }
   return 0;
 }
@@ -178,7 +183,7 @@ bool StableStore::has_valid(StableSeq ndc) const {
   for (const auto& c : history_) {
     if (c.ndc == ndc) {
       ByteReader r(c.encoded);
-      return CheckpointRecord::try_deserialize(r).has_value();
+      return CheckpointRecord::try_deserialize(r).has_value() && r.exhausted();
     }
   }
   return false;
@@ -241,6 +246,17 @@ bool StableStore::corrupt_retained(StableSeq ndc) {
   for (auto& c : history_) {
     if (c.ndc == ndc && !c.encoded.empty()) {
       c.encoded[c.encoded.size() / 2] ^= 0x10;
+      ++latent_corruptions_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StableStore::pad_retained(StableSeq ndc, std::size_t extra) {
+  for (auto& c : history_) {
+    if (c.ndc == ndc) {
+      c.encoded.insert(c.encoded.end(), extra, std::uint8_t{0xA5});
       ++latent_corruptions_;
       return true;
     }

@@ -180,6 +180,9 @@ class StableStore {
   bool corrupt_retained(StableSeq ndc);
   /// Truncate the retained record with index `ndc` to `keep` bytes.
   bool truncate_retained(StableSeq ndc, std::size_t keep);
+  /// Append `extra` garbage bytes after the retained record with index
+  /// `ndc` (overlong blob: record decodes, boundary check must reject).
+  bool pad_retained(StableSeq ndc, std::size_t extra);
 
   Duration write_latency_for(const CheckpointRecord& record) const;
 

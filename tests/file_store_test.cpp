@@ -111,6 +111,25 @@ TEST_F(FileStoreFixture, WipeRemovesEverything) {
   EXPECT_TRUE(store.retained().empty());
 }
 
+TEST_F(FileStoreFixture, TrailingGarbageInFileRejected) {
+  // A checkpoint file holds exactly one record. Appended bytes (partial
+  // overwrite of a longer predecessor, filesystem-level damage) must fail
+  // the read even though the record's own CRC still verifies, and the
+  // reader must fall back to the previous intact checkpoint.
+  FileStableStore store(dir_, kP2);
+  store.commit(record(1));
+  store.commit(record(2));
+  {
+    std::ofstream out(dir_ / "ckpt-2-2.bin",
+                      std::ios::binary | std::ios::app);
+    out << "JUNK";
+  }
+  EXPECT_FALSE(store.committed_for(2).has_value());
+  const auto back = store.latest_committed();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ndc, 1u);
+}
+
 TEST_F(FileStoreFixture, LeftoverTempFilesIgnored) {
   FileStableStore store(dir_, kP2);
   store.commit(record(1));

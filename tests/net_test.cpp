@@ -99,6 +99,134 @@ TEST(NetworkTest, LossProbabilityDrops) {
   EXPECT_EQ(net.dropped(), 1u);
 }
 
+// Expose the protected inject() so tests can schedule deliveries with
+// chosen (deterministic) delays instead of depending on the rng draw.
+class InjectableNetwork : public Network {
+ public:
+  using Network::Network;
+  void inject_at(Message m, Duration delay, bool respect_fifo) {
+    m.sent_at = sim().now();
+    inject(std::move(m), delay, respect_fifo);
+  }
+  Simulator& simulator() { return sim(); }
+};
+
+TEST(NetworkTest, CrashPrunesFifoWatermarkForReattachedProcess) {
+  // Regression: a crash used to leave the (sender, receiver) FIFO
+  // watermark behind after its in-transit deliveries were cancelled, so
+  // the first post-restart message was serialized behind a delivery that
+  // never happened — arriving at the phantom's (future) time instead of
+  // its own. The watermark must die with the deliveries backing it.
+  Simulator sim;
+  InjectableNetwork net(sim, fast_net(), Rng(6));
+  std::vector<TimePoint> deliveries;
+  const auto record = [&](const Message&) { deliveries.push_back(sim.now()); };
+  net.attach(ProcessId{1}, record);
+
+  Message m;
+  m.sender = ProcessId{0};
+  m.receiver = ProcessId{1};
+  // A slow in-flight message pushes the watermark out to t=50ms...
+  net.inject_at(m, Duration::millis(50), /*respect_fifo=*/true);
+  // ...then the receiver crashes and restarts before it arrives.
+  net.detach(ProcessId{1});
+  net.attach(ProcessId{1}, record);
+  // The restart's first message takes 2ms. With the stale watermark it
+  // would be held until t=50ms; pruned, it arrives at its own time.
+  net.inject_at(m, Duration::millis(2), /*respect_fifo=*/true);
+  sim.run();
+
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0] - TimePoint::origin(), Duration::millis(2));
+  EXPECT_EQ(net.dropped_cancelled(), 1u);
+}
+
+TEST(NetworkTest, DroppedCounterSplitsByCause) {
+  Simulator sim;
+  NetworkParams p = fast_net();
+  p.loss_probability = 1.0;
+  Network lossy(sim, p, Rng(7));
+  Message m;
+  m.sender = ProcessId{0};
+  m.receiver = ProcessId{1};
+  lossy.send(m);
+  EXPECT_EQ(lossy.dropped_loss(), 1u);
+  EXPECT_EQ(lossy.dropped_no_receiver(), 0u);
+  EXPECT_EQ(lossy.dropped_cancelled(), 0u);
+
+  Network net(sim, fast_net(), Rng(8));
+  net.send(m);  // nobody attached at ProcessId{1}
+  sim.run();
+  EXPECT_EQ(net.dropped_no_receiver(), 1u);
+
+  int got = 0;
+  net.attach(ProcessId{2}, [&](const Message&) { ++got; });
+  m.receiver = ProcessId{2};
+  net.send(m);
+  net.drop_in_transit_to(ProcessId{2});
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.dropped_cancelled(), 1u);
+  // The conflated figure is exactly the sum of the causes.
+  EXPECT_EQ(net.dropped(),
+            net.dropped_loss() + net.dropped_no_receiver() +
+                net.dropped_cancelled());
+  EXPECT_EQ(net.dropped(), 2u);
+}
+
+TEST(NetworkTest, SameTickBatchPreservesPerMessageOrder) {
+  // Messages landing on the same (receiver, tick) share one scheduled
+  // event. The batch is only appendable while nothing else has entered
+  // the event queue, so observable order must be identical to the
+  // one-event-per-message schedule: chained frames fire in send order,
+  // and an event scheduled *between* two same-tick sends still fires
+  // between them.
+  Simulator sim;
+  InjectableNetwork net(sim, fast_net(), Rng(9));
+  std::vector<std::uint64_t> order;
+  net.attach(ProcessId{1}, [&](const Message& m) { order.push_back(m.payload); });
+
+  Message m;
+  m.sender = ProcessId{0};
+  m.receiver = ProcessId{1};
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    m.payload = i;
+    net.inject_at(m, Duration::millis(4), /*respect_fifo=*/false);
+  }
+  // An unrelated event at the same tick, scheduled after the three sends:
+  // it must run after all three (their batch event has the earlier seq).
+  sim.schedule_after(Duration::millis(4), [&] { order.push_back(99); });
+  // A fourth same-tick message sent after that event cannot join the
+  // batch (the queue moved); it gets its own, later event.
+  m.payload = 3;
+  net.inject_at(m, Duration::millis(4), /*respect_fifo=*/false);
+  sim.run();
+
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 99, 3}));
+}
+
+TEST(NetworkTest, FramePoolRecyclesAcrossBursts) {
+  // Steady-state allocation freedom depends on frames actually returning
+  // to the free list: after any burst drains, in_transit is zero and the
+  // next burst reuses the pool (verified indirectly — delivery still
+  // works and counts stay exact across many bursts).
+  Simulator sim;
+  Network net(sim, fast_net(), Rng(10));
+  std::uint64_t got = 0;
+  net.attach(ProcessId{1}, [&](const Message&) { ++got; });
+  Message m;
+  m.sender = ProcessId{0};
+  m.receiver = ProcessId{1};
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 8; ++i) net.send(m);
+    sim.run();
+    EXPECT_EQ(net.in_transit(), 0u);
+  }
+  EXPECT_EQ(got, 160u);
+  EXPECT_EQ(net.delivered(), 160u);
+}
+
 TEST(MessageTest, SerializationRoundTrip) {
   Message m;
   m.kind = MsgKind::kPassedAt;
@@ -192,7 +320,8 @@ TEST_F(EndpointFixture, ResendDeliversAgainAndDedups) {
   // Simulate recovery on A's side: pretend the ack was lost by restoring
   // the unacked log from before.
   Message original = b_inbox_[0];
-  a_.restore_unacked({original});
+  const Message log[] = {original};
+  a_.restore_unacked(log);
   EXPECT_EQ(a_.resend_unacked(1), 1u);
   sim_.run();
   ASSERT_EQ(b_inbox_.size(), 2u);

@@ -1,0 +1,136 @@
+// SmallVec unit tests: inline/heap transitions, move stealing, and the
+// mutation surface the message-path containers rely on (sorted insert,
+// range erase, assign). The payload tracking below exists because the
+// container manually constructs/destroys elements — a missed destructor
+// or double-destroy is invisible to the happy-path tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/small_vec.hpp"
+
+namespace synergy {
+namespace {
+
+struct Tracked {
+  static int live;
+  std::string tag;
+
+  explicit Tracked(std::string t = "") : tag(std::move(t)) { ++live; }
+  Tracked(const Tracked& o) : tag(o.tag) { ++live; }
+  Tracked(Tracked&& o) noexcept : tag(std::move(o.tag)) { ++live; }
+  Tracked& operator=(const Tracked&) = default;
+  Tracked& operator=(Tracked&&) = default;
+  ~Tracked() { --live; }
+
+  friend bool operator==(const Tracked& a, const Tracked& b) {
+    return a.tag == b.tag;
+  }
+};
+int Tracked::live = 0;
+
+TEST(SmallVecTest, StaysInlineUpToN) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, GrowsPastInlinePreservingElements) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 40; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 40u);
+  EXPECT_GE(v.capacity(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, InsertShiftsTail) {
+  SmallVec<int, 4> v;
+  v.push_back(1);
+  v.push_back(3);
+  v.insert(v.begin() + 1, 2);
+  v.insert(v.begin(), 0);
+  v.insert(v.end(), 4);
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, EraseSingleAndRange) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 8; ++i) v.push_back(i);
+  v.erase(v.begin() + 1);  // 0 2 3 4 5 6 7
+  EXPECT_EQ(v[1], 2);
+  v.erase(v.begin() + 2, v.begin() + 5);  // 0 2 6 7
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 6);
+  EXPECT_EQ(v[3], 7);
+}
+
+TEST(SmallVecTest, MoveStealsHeapBuffer) {
+  SmallVec<Tracked, 2> v;
+  for (int i = 0; i < 6; ++i) v.emplace_back(std::to_string(i));
+  const Tracked* heap = v.data();
+  SmallVec<Tracked, 2> w = std::move(v);
+  EXPECT_EQ(w.data(), heap);  // stolen, not copied
+  EXPECT_TRUE(v.empty());
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_EQ(w[5].tag, "5");
+}
+
+TEST(SmallVecTest, MoveOfInlineElements) {
+  SmallVec<Tracked, 4> v;
+  v.emplace_back("a");
+  v.emplace_back("b");
+  SmallVec<Tracked, 4> w = std::move(v);
+  EXPECT_TRUE(v.empty());
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0].tag, "a");
+  EXPECT_EQ(w[1].tag, "b");
+}
+
+TEST(SmallVecTest, NoLeaksAcrossLifecycle) {
+  ASSERT_EQ(Tracked::live, 0);
+  {
+    SmallVec<Tracked, 2> v;
+    for (int i = 0; i < 10; ++i) v.emplace_back(std::to_string(i));
+    v.erase(v.begin(), v.begin() + 3);
+    v.pop_back();
+    SmallVec<Tracked, 2> w;
+    w = std::move(v);
+    SmallVec<Tracked, 2> c(w);
+    EXPECT_EQ(Tracked::live, static_cast<int>(w.size() + c.size()));
+    w.clear();
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(SmallVecTest, AssignReplacesContents) {
+  SmallVec<int, 2> v;
+  v.push_back(9);
+  const int src[] = {1, 2, 3, 4, 5};
+  v.assign(src, src + 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[4], 5);
+}
+
+TEST(SmallVecTest, EqualityIsElementwise) {
+  SmallVec<int, 2> a;
+  SmallVec<int, 2> b;
+  for (int i = 0; i < 5; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  EXPECT_TRUE(a == b);
+  b.back() = 99;
+  EXPECT_FALSE(a == b);
+  b.pop_back();
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace synergy

@@ -80,7 +80,8 @@ TEST(TransportCoreSnapshotCacheTest, EveryMutatorInvalidates) {
   core.restore_state(state);
   expect_fresh("restore_state");
 
-  core.restore_unacked({stamped});
+  const Message log[] = {stamped};
+  core.restore_unacked(log);
   expect_fresh("restore_unacked");
 }
 

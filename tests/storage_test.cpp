@@ -148,6 +148,27 @@ TEST_F(StableStoreFixture, CommitNowIsSynchronous) {
   EXPECT_EQ(store_.latest_committed()->ndc, 7u);
 }
 
+TEST_F(StableStoreFixture, TrailingGarbageRejectedAtRecordBoundary) {
+  // A stored blob is exactly one record. Bytes appended after a CRC-clean
+  // record (overlong torn read, appended garbage on untrusted storage)
+  // must fail the read, not silently decode the record and ignore the
+  // junk — the reader has to land exactly on the record boundary.
+  store_.commit_now(sample_record(1));
+  store_.commit_now(sample_record(2));
+  ASSERT_TRUE(store_.pad_retained(2, 5));
+  EXPECT_FALSE(store_.has_valid(2));
+  EXPECT_TRUE(store_.has_valid(1));
+  // Fallback behaves exactly like any other corruption: skip to the
+  // newest intact record.
+  ASSERT_TRUE(store_.latest_committed().has_value());
+  EXPECT_EQ(store_.latest_committed()->ndc, 1u);
+  EXPECT_EQ(store_.latest_valid_ndc(), 1u);
+  ASSERT_TRUE(store_.best_valid_at_most(2).has_value());
+  EXPECT_EQ(store_.best_valid_at_most(2)->ndc, 1u);
+  EXPECT_FALSE(store_.committed_for(2).has_value());
+  EXPECT_GE(store_.corrupt_reads(), 1u);
+}
+
 TEST_F(StableStoreFixture, CommittedSurvivesAsBytes) {
   // latest_committed decodes from the persisted byte blob every time:
   // mutating the returned record must not affect the store.

@@ -75,7 +75,8 @@ TEST(TransportCoreTest, RestoreUnackedRewindsSequenceCounter) {
   TransportCore core(kP1Act);
   const Message a = core.prepare_send(internal_to(kP2));
   const Message b = core.prepare_send(internal_to(kP2));
-  core.restore_unacked({a, b});
+  const Message log[] = {a, b};
+  core.restore_unacked(log);
   const Message c = core.prepare_send(internal_to(kP2));
   EXPECT_GT(c.transport_seq, b.transport_seq);
   EXPECT_EQ(core.unacked_count(), 3u);

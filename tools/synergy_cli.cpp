@@ -648,11 +648,16 @@ int cmd_chaos(int argc, char** argv) {
     std::printf("mission seed=%llu %s\n",
                 static_cast<unsigned long long>(r.seed),
                 r.ok ? "ok" : "FAIL");
-    std::printf("adversity: net=%llu late=%llu retries=%llu failed_writes=%llu "
+    std::printf("adversity: net=%llu late=%llu drop_loss=%llu "
+                "drop_norecv=%llu drop_cancel=%llu retries=%llu "
+                "failed_writes=%llu "
                 "torn=%llu latent=%llu corrupt_reads=%llu hw=%llu drift=%llu "
                 "missed_resync=%llu sw_recoveries=%llu\n",
                 static_cast<unsigned long long>(r.injected_net),
                 static_cast<unsigned long long>(r.late_deliveries),
+                static_cast<unsigned long long>(r.net_dropped_loss),
+                static_cast<unsigned long long>(r.net_dropped_no_receiver),
+                static_cast<unsigned long long>(r.net_dropped_cancelled),
                 static_cast<unsigned long long>(r.write_retries),
                 static_cast<unsigned long long>(r.failed_writes),
                 static_cast<unsigned long long>(r.torn_writes),
@@ -747,7 +752,11 @@ int cmd_chaos(int argc, char** argv) {
                   handoffs = 0, handoff_aborts = 0, unacked_hw = 0,
                   deferred = 0;
     std::uint64_t at_exp = 0, at_det = 0, at_miss = 0, at_fa = 0;
+    std::uint64_t drop_loss = 0, drop_norecv = 0, drop_cancel = 0;
     for (const MissionReport& r : result.missions) {
+      drop_loss += r.net_dropped_loss;
+      drop_norecv += r.net_dropped_no_receiver;
+      drop_cancel += r.net_dropped_cancelled;
       records += r.ckpt_records;
       encoded += r.ckpt_bytes_encoded;
       hits += r.ckpt_cache_hits;
@@ -771,6 +780,9 @@ int cmd_chaos(int argc, char** argv) {
       at_miss += r.at_missed;
       at_fa += r.at_false_alarms;
     }
+    writer.set_counter("net_dropped_loss", drop_loss);
+    writer.set_counter("net_dropped_no_receiver", drop_norecv);
+    writer.set_counter("net_dropped_cancelled", drop_cancel);
     writer.set_counter("ckpt_records_established", records);
     writer.set_counter("ckpt_bytes_encoded", encoded);
     writer.set_counter("ckpt_cache_hits", hits);
