@@ -1,107 +1,134 @@
 // Extension bench — the generalized protocol at scale.
 //
 // The paper's reference-[5] direction: MDCD without the three-process
-// restriction. We sweep the component count of a star topology (one
-// guarded hub, N high-confidence leaves) and a chain, measuring protocol
-// overhead (volatile checkpoints, validations, blocking) and verifying the
-// recovery line stays split-free at every size.
-#include "analysis/checkers.hpp"
+// restriction. We sweep star topologies (one guarded hub, N high-confidence
+// leaves) from 64 to 1024 components plus two chains, running full seeded
+// campaigns (hardware crash + design-fault activation per mission) through
+// src/general/campaign.hpp and verifying the recovery line stays split-free
+// at every size.
+//
+// With --json FILE the scaling curve is also emitted as `synergy-bench-v1`
+// rows (one per shape, events/s in missions_per_sec) so CI can gate the
+// committed baseline bench/baselines/BENCH_general.json with
+// scripts/check_bench_regression.py. Row names encode the workload
+// (shape, reps, mission seconds), so baseline and fresh run must use the
+// same effort tier — the baseline is refreshed with --quick, matching the
+// CI invocation (see scripts/refresh_bench_baselines.sh).
+#include <string>
+#include <vector>
+
 #include "bench_common.hpp"
-#include "general/system.hpp"
+#include "general/campaign.hpp"
 
 using namespace synergy;
 using namespace synergy::bench;
 
 namespace {
 
-struct Row {
-  std::size_t processes = 0;
-  std::size_t device_outputs = 0;
-  std::uint64_t stable_ckpts = 0;
-  std::size_t violations = 0;
-  double sim_events_per_proc = 0;
+struct Shape {
+  GeneralShape shape;
+  std::size_t size;
 };
-
-Row measure(Topology topology, std::uint64_t seed) {
-  std::vector<ComponentSpec> specs = topology.components();
-  for (auto& s : specs) {
-    s.internal_rate = 2.0;
-    s.external_rate = 0.3;
-  }
-  GeneralConfig c;
-  c.seed = seed;
-  c.tb.interval = Duration::seconds(10);
-  c.enable_trace = false;
-  GeneralSystem system(Topology(std::move(specs)), c);
-  Rng rng(seed * 97 + 3);
-  system.start(TimePoint::origin() + Duration::seconds(200));
-  system.schedule_hw_fault(
-      TimePoint::origin() +
-          rng.uniform(Duration::seconds(50), Duration::seconds(150)),
-      ProcessId{static_cast<std::uint32_t>(rng.uniform_int(
-          0,
-          static_cast<std::int64_t>(system.topology().process_count()) - 1))});
-  system.run();
-
-  Row row;
-  row.processes = system.topology().process_count();
-  row.device_outputs = system.device_outputs();
-  for (std::uint32_t p = 0; p < row.processes; ++p) {
-    row.stable_ckpts += system.tb(ProcessId{p}).checkpoints_taken();
-  }
-  const GlobalState line = system.stable_line_state();
-  row.violations =
-      check_consistency(line).size() + check_recoverability(line).size();
-  row.sim_events_per_proc =
-      static_cast<double>(system.sim().events_executed()) /
-      static_cast<double>(row.processes);
-  return row;
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Effort effort = parse_effort(argc, argv);
-  const std::size_t seeds = scaled(effort, 2, 5, 15);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  // Every tier covers star-64 through star-256 plus chain-32 so the gated
+  // row names exist at --quick; higher tiers add the large shapes and more
+  // replication.
+  std::vector<Shape> shapes = {{GeneralShape::kStar, 64},
+                               {GeneralShape::kStar, 128},
+                               {GeneralShape::kStar, 256},
+                               {GeneralShape::kChain, 32}};
+  if (effort != Effort::kQuick) {
+    shapes.push_back({GeneralShape::kStar, 512});
+    shapes.push_back({GeneralShape::kChain, 64});
+  }
+  if (effort == Effort::kFull) {
+    shapes.push_back({GeneralShape::kStar, 1024});
+  }
+  const std::size_t reps = scaled(effort, 4, 6, 8);
+  const std::size_t mission_secs = scaled(effort, 20, 60, 120);
 
   heading("Extension: generalized protocol scaling");
-  std::printf("200 s missions, one random hardware fault each, %zu seeds "
-              "per shape\n\n",
-              seeds);
-  std::printf("%-12s | %5s | %8s | %12s | %10s | %12s\n", "topology", "procs",
-              "outputs", "stable ckpts", "violations", "events/proc");
-  std::printf("%s\n", std::string(76, '-').c_str());
+  std::printf("%zu s missions, one seeded hw fault + one sw error each, "
+              "%zu mission(s) per shape\n\n",
+              mission_secs, reps);
+  std::printf("%-10s | %5s | %9s | %8s | %12s | %4s | %10s | %11s\n",
+              "topology", "procs", "events", "outputs", "stable ckpts",
+              "viol", "wall (s)", "events/s");
+  std::printf("%s\n", std::string(84, '-').c_str());
 
+  BenchJsonWriter writer;
   bool ok = true;
-  const struct {
-    const char* name;
-    Topology topo;
-  } shapes[] = {
-      {"canonical", Topology::canonical()},
-      {"dual", Topology::dual_guarded()},
-      {"star-3", Topology::star(3)},
-      {"star-6", Topology::star(6)},
-      {"chain-4", Topology::chain(4)},
-      {"chain-8", Topology::chain(8)},
-  };
-  for (const auto& shape : shapes) {
-    Row total;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      const Row row = measure(shape.topo, seed);
-      total.processes = row.processes;
-      total.device_outputs += row.device_outputs;
-      total.stable_ckpts += row.stable_ckpts;
-      total.violations += row.violations;
-      total.sim_events_per_proc += row.sim_events_per_proc;
+  std::uint64_t events_all = 0;
+  std::uint64_t violations_all = 0;
+  for (const Shape& shape : shapes) {
+    GeneralCampaignConfig config;
+    config.shape = shape.shape;
+    config.size = shape.size;
+    config.reps = reps;
+    config.mission = Duration::seconds(static_cast<std::int64_t>(mission_secs));
+    // Serial on purpose: the gated ns_per_op rows measure single-thread
+    // protocol cost, which is far less noisy than a 2-4 mission parallel
+    // wall time. `synergy general --jobs N` covers the fan-out path.
+    config.jobs = 1;
+
+    const GeneralCampaignResult result = run_general_campaign(config, nullptr);
+
+    std::uint64_t outputs = 0;
+    std::uint64_t stable_ckpts = 0;
+    std::size_t processes = 0;
+    for (const auto& m : result.missions) {
+      outputs += m.device_outputs;
+      stable_ckpts += m.stable_ckpts;
+      processes = m.processes;
     }
-    std::printf("%-12s | %5zu | %8zu | %12llu | %10zu | %12.0f\n", shape.name,
-                total.processes, total.device_outputs,
-                static_cast<unsigned long long>(total.stable_ckpts),
-                total.violations, total.sim_events_per_proc / seeds);
-    if (total.violations != 0) ok = false;
+    events_all += result.events_total;
+    violations_all += result.oracle_violations;
+    if (result.failed != 0) ok = false;
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s-%zu", to_string(shape.shape),
+                  shape.size);
+    std::printf("%-10s | %5zu | %9llu | %8llu | %12llu | %4llu | %10.3f | "
+                "%11.0f\n",
+                label, processes,
+                static_cast<unsigned long long>(result.events_total),
+                static_cast<unsigned long long>(outputs),
+                static_cast<unsigned long long>(stable_ckpts),
+                static_cast<unsigned long long>(result.oracle_violations),
+                result.wall_seconds, result.events_per_sec);
+
+    char name[96];
+    std::snprintf(name, sizeof(name), "general/%s/reps=%zu/duration=%zus",
+                  label, reps, mission_secs);
+    const double wall_ns = result.wall_seconds * 1e9;
+    writer.add({name, result.events_total,
+                result.events_total > 0
+                    ? wall_ns / static_cast<double>(result.events_total)
+                    : 0.0,
+                result.events_per_sec});
   }
+  writer.set_counter("events_total", events_all);
+  writer.set_counter("oracle_violations", violations_all);
+
   std::printf("\nshape check (every topology keeps its recovery line "
               "split-free): %s\n",
               ok ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    if (!writer.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("bench json written to %s\n", json_path.c_str());
+  }
   return ok ? 0 : 1;
 }

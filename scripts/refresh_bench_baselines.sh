@@ -15,6 +15,10 @@ mkdir -p "$OUT"
 "$BUILD"/tools/synergy chaos --reps 10 --seed 1 --jobs 0 \
   --json "$OUT/BENCH_campaign.json"
 "$BUILD"/bench/bench_micro_json --quick --json "$OUT/BENCH_micro.json"
+# Generalized-topology scaling curve: --quick matches the ci.yml
+# bench-regression invocation so the strict star/chain row names line up.
+"$BUILD"/bench/bench_general_scaling --quick \
+  --json "$OUT/BENCH_general.json"
 # Sweep smoke cell: must match the ci.yml bench-regression invocation so
 # the strict name "sweep/cells=9/reps=100/duration=20s" stays guarded.
 "$BUILD"/tools/synergy sweep --seed 1 --reps 100 --duration 20 \

@@ -1,22 +1,31 @@
 #include "general/contam.hpp"
 
-#include <algorithm>
 #include <sstream>
 
 namespace synergy {
 
-void contam_merge(ContamVector& into, const ContamVector& other) {
+bool contam_merge(ContamVector& into, const ContamVector& other) {
+  bool changed = false;
   for (const auto& [source, sn] : other) {
-    auto [it, inserted] = into.emplace(source, sn);
-    if (!inserted) it->second = std::max(it->second, sn);
+    const MsgSeq before = into.watermark(source);
+    if (sn > before || into.find(source) == into.end()) {
+      into.raise(source, sn);
+      changed = true;
+    }
   }
+  return changed;
 }
 
 bool contam_covered(const ContamVector& contam,
                     const ContamVector& validated) {
+  // Both sides are sorted by source: one forward scan of `validated`
+  // serves every lookup.
+  auto vit = validated.begin();
   for (const auto& [source, sn] : contam) {
-    auto it = validated.find(source);
-    if (it == validated.end() || it->second < sn) return false;
+    while (vit != validated.end() && vit->first < source) ++vit;
+    if (vit == validated.end() || vit->first != source || vit->second < sn) {
+      return false;
+    }
   }
   return true;
 }
@@ -34,7 +43,7 @@ ContamVector contam_deserialize(ByteReader& r) {
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t source = r.u32();
-    v[source] = r.u64();
+    v.raise(source, r.u64());
   }
   return v;
 }

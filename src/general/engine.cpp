@@ -21,6 +21,14 @@ ContamVector decode_aux(const Message& m) {
   return contam_deserialize(r);
 }
 
+bool sorted_contains(const SmallVec<std::uint32_t, 8>& set,
+                     std::uint32_t value) {
+  for (const std::uint32_t c : set) {
+    if (c >= value) return c == value;
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* to_string(GProcessKind kind) {
@@ -65,13 +73,18 @@ bool GeneralEngine::dirty() const { return dirty_bit_; }
 
 bool GeneralEngine::pseudo_dirty() const {
   if (kind_ != GProcessKind::kActive) return false;
-  auto it = validated_.find(component_);
-  const MsgSeq covered = it == validated_.end() ? 0 : it->second;
-  return covered < msg_sn_;
+  return validated_.watermark(component_) < msg_sn_;
 }
 
 bool GeneralEngine::contamination_flag() const {
   return dirty() || pseudo_dirty();
+}
+
+void GeneralEngine::mark_component_failed_over(std::uint32_t c) {
+  auto it = failed_over_.begin();
+  while (it != failed_over_.end() && *it < c) ++it;
+  if (it != failed_over_.end() && *it == c) return;
+  failed_over_.insert(it, c);
 }
 
 // ---- Event entry points -----------------------------------------------------
@@ -130,8 +143,10 @@ void GeneralEngine::do_confidence_loss() {
 
 void GeneralEngine::on_message(const Message& m) {
   if (!alive_) return;
-  trace(TraceKind::kReceive, std::string(to_string(m.kind)), m.sn,
-        m.transport_seq);
+  if (tracing()) {
+    trace(TraceKind::kReceive, std::string(to_string(m.kind)), m.sn,
+          m.transport_seq);
+  }
   if (m.kind == MsgKind::kPassedAt) {
     // Modified semantics: validations are monitored during blocking.
     if (!consume_or_drop(m)) return;
@@ -195,8 +210,7 @@ ContamVector GeneralEngine::outgoing_contam(MsgSeq own_sn) const {
   ContamVector cv = absorbed_;
   if (kind_ == GProcessKind::kActive) {
     // Our own sends are a contamination source.
-    auto [it, inserted] = cv.emplace(component_, own_sn);
-    if (!inserted) it->second = std::max(it->second, own_sn);
+    cv.raise(component_, own_sn);
   }
   return cv;
 }
@@ -206,34 +220,48 @@ void GeneralEngine::send_internal_multicast(std::uint64_t payload,
   const ContamVector cv = outgoing_contam(msg_sn_);
   const bool suspect =
       kind_ == GProcessKind::kActive ? true : dirty();
-  for (const auto peer : topology_.components()[component_].peers) {
-    const bool peer_failed_over = failed_over_.contains(peer);
-    Message m;
-    m.kind = MsgKind::kInternal;
-    m.receiver = topology_.active_of(peer);
-    m.sn = msg_sn_;
-    m.ndc = ndc_provider_();
-    m.epoch = epoch_;
-    m.payload = payload;
-    m.tainted = tainted;
-    m.dirty = suspect;
-    if (suspect) m.aux = encode_aux(cv);
+  // One shared aux buffer for the whole multicast: every copy bumps a
+  // refcount instead of re-encoding the vector per receiver.
+  const SharedBytes aux = suspect ? SharedBytes(encode_aux(cv)) : SharedBytes{};
+  const StableSeq ndc = ndc_provider_();
+  Message m;
+  m.kind = MsgKind::kInternal;
+  m.sn = msg_sn_;
+  m.ndc = ndc;
+  m.epoch = epoch_;
+  m.payload = payload;
+  m.tainted = tainted;
+  m.dirty = suspect;
+  m.aux = aux;
+  for (const PeerRoute& route : topology_.peer_routes(component_)) {
+    const bool peer_failed_over = sorted_contains(failed_over_,
+                                                  route.component);
     if (!peer_failed_over) {
+      m.receiver = route.active;
       const std::uint64_t seq = services_.transport->send(m);
       sent_views_.push_back(GView{m.receiver, seq, msg_sn_,
                                   MsgKind::kInternal, suspect, cv});
+      if (suspect) {
+        ++suspect_views_;
+        suspect_sent_.push_back(
+            static_cast<std::uint32_t>(sent_views_.size() - 1));
+      }
       if (tracing()) {
         trace(TraceKind::kSend,
               "internal->" + topology_.process_name(m.receiver), msg_sn_, seq);
       }
     }
     // Mirror to the peer's shadow, which consumes the same inputs.
-    if (topology_.has_shadow(peer)) {
-      Message twin = m;
-      twin.receiver = topology_.shadow_of(peer);
-      const std::uint64_t tseq = services_.transport->send(twin);
-      sent_views_.push_back(GView{twin.receiver, tseq, msg_sn_,
+    if (route.has_shadow) {
+      m.receiver = route.shadow;
+      const std::uint64_t tseq = services_.transport->send(m);
+      sent_views_.push_back(GView{m.receiver, tseq, msg_sn_,
                                   MsgKind::kInternal, suspect, cv});
+      if (suspect) {
+        ++suspect_views_;
+        suspect_sent_.push_back(
+            static_cast<std::uint32_t>(sent_views_.size() - 1));
+      }
     }
   }
 }
@@ -287,21 +315,22 @@ void GeneralEngine::do_app_send(bool external, std::uint64_t input) {
       ext.tainted = tainted;
       ext.epoch = epoch_;
       services_.transport->send(ext);
-      // Broadcast the validation to every other process.
+      // Broadcast the validation to every other process; one shared aux
+      // buffer serves the entire broadcast.
+      Message note;
+      note.kind = MsgKind::kPassedAt;
+      note.sn = msg_sn_;
+      note.ndc = ndc_provider_();
+      note.epoch = epoch_;
+      note.aux = SharedBytes(encode_aux(coverage));
       for (std::uint32_t p = 0; p < topology_.process_count(); ++p) {
         const ProcessId pid{p};
         if (pid == self()) continue;
         if (!topology_.is_shadow(pid) &&
-            failed_over_.contains(topology_.component_of(pid))) {
+            sorted_contains(failed_over_, topology_.component_of(pid))) {
           continue;  // retired active
         }
-        Message note;
-        note.kind = MsgKind::kPassedAt;
         note.receiver = pid;
-        note.sn = msg_sn_;
-        note.ndc = ndc_provider_();
-        note.epoch = epoch_;
-        note.aux = encode_aux(coverage);
         services_.transport->send(note);
       }
       return;
@@ -359,6 +388,11 @@ void GeneralEngine::do_app_message(const Message& m) {
   }
   recv_views_.push_back(
       GView{m.sender, m.transport_seq, m.sn, m.kind, view_suspect, cv});
+  if (view_suspect) {
+    ++suspect_views_;
+    suspect_recv_.push_back(
+        static_cast<std::uint32_t>(recv_views_.size() - 1));
+  }
   services_.app->apply_message(m.payload, m.tainted);
   trace(TraceKind::kDeliverApp, std::string(to_string(m.kind)), m.sn);
 }
@@ -370,7 +404,7 @@ void GeneralEngine::do_passed_at(const Message& m) {
 
 void GeneralEngine::apply_validation(const ContamVector& coverage) {
   const bool was_flagged = contamination_flag();
-  contam_merge(validated_, coverage);
+  if (contam_merge(validated_, coverage)) ++validated_version_;
 
   // Per-source clearing: when every absorbed dependency is covered, the
   // state transitions clean (the next dirty arrival re-anchors with a
@@ -384,10 +418,9 @@ void GeneralEngine::apply_validation(const ContamVector& coverage) {
   refresh_best_anchor();
 
   // Shadow log reclamation: our component's validated prefix.
-  if (kind_ == GProcessKind::kShadow) {
-    auto it = validated_.find(component_);
-    if (it != validated_.end()) {
-      const MsgSeq vr = it->second;
+  if (kind_ == GProcessKind::kShadow && !msg_log_.empty()) {
+    const MsgSeq vr = validated_.watermark(component_);
+    if (vr > 0) {
       msg_log_.erase(
           std::remove_if(msg_log_.begin(), msg_log_.end(),
                          [vr](const Message& logged) {
@@ -397,13 +430,27 @@ void GeneralEngine::apply_validation(const ContamVector& coverage) {
     }
   }
 
-  // View upgrades: every suspect entry whose vector is covered.
-  for (auto* views : {&sent_views_, &recv_views_}) {
-    for (auto& v : *views) {
-      if (v.suspect && contam_covered(v.contam, validated_)) {
-        v.suspect = false;
+  // View upgrades: every suspect entry whose vector is covered. Only the
+  // indexed suspect window is visited — upgraded entries never relapse, so
+  // the logs themselves are never rescanned.
+  if (suspect_views_ > 0) {
+    const auto upgrade = [this](SmallVec<GView, 8>& views,
+                                SmallVec<std::uint32_t, 8>& index) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < index.size(); ++i) {
+        GView& v = views[index[i]];
+        if (contam_covered(v.contam, validated_)) {
+          v.suspect = false;
+          --suspect_views_;
+        } else {
+          index[kept++] = index[i];
+        }
       }
-    }
+      index.erase(index.begin() + static_cast<std::ptrdiff_t>(kept),
+                  index.end());
+    };
+    upgrade(sent_views_, suspect_sent_);
+    upgrade(recv_views_, suspect_recv_);
   }
 
   if (was_flagged && !contamination_flag()) {
@@ -446,8 +493,8 @@ void GeneralEngine::end_blocking() {
   SYNERGY_EXPECTS(blocking_);
   blocking_ = false;
   trace(TraceKind::kBlockEnd);
-  std::deque<Deferred> pending;
-  pending.swap(deferred_);
+  SmallVec<Deferred, 4> pending = std::move(deferred_);
+  deferred_.clear();  // moved-from is already empty; be explicit
   for (auto& op : pending) {
     if (!alive_) break;
     if (auto* send = std::get_if<SendReq>(&op)) {
@@ -485,9 +532,6 @@ CheckpointRecord GeneralEngine::make_record(CkptKind kind) const {
   rec.state_time = current_time();
   rec.dirty_bit = contamination_flag();
   rec.ndc = ndc_provider_();
-  // App and transport snapshots are version-cached shared blobs; the
-  // generalized engine's protocol state has no version stamp (anchor
-  // candidates mutate it from many sites), so it still encodes per record.
   rec.app_state = services_.app->snapshot_shared();
   rec.protocol_state = snapshot_protocol_state();
   rec.transport_state = services_.transport->snapshot_state_shared();
@@ -502,10 +546,21 @@ void GeneralEngine::capture_anchor(CkptKind kind) {
   if (kind_ == GProcessKind::kActive && msg_sn_ > 0) {
     // The captured state reflects our own sends up to msg_sn_: promoting
     // it requires a validation covering them.
-    auto [it, inserted] = candidate.absorbed_at.emplace(component_, msg_sn_);
-    if (!inserted) it->second = std::max(it->second, msg_sn_);
+    candidate.absorbed_at.raise(component_, msg_sn_);
   }
-  candidate.record = make_record(kind);
+  candidate.absorbed = absorbed_;
+  candidate.kind = kind;
+  candidate.captured_at = current_time();
+  candidate.ndc = ndc_provider_();
+  candidate.msg_sn = msg_sn_;
+  candidate.takeover_done = takeover_done_;
+  candidate.serial = ++candidate_serial_;
+  candidate.sent_len = static_cast<std::uint32_t>(sent_views_.size());
+  candidate.recv_len = static_cast<std::uint32_t>(recv_views_.size());
+  candidate.app_state = services_.app->snapshot_shared();
+  candidate.transport_state = services_.transport->snapshot_state_shared();
+  const std::span<const Message> unacked = services_.transport->unacked();
+  candidate.unacked.assign(unacked.begin(), unacked.end());
   anchor_candidates_.push_back(std::move(candidate));
   if (anchor_candidates_.size() > kMaxAnchorCandidates) {
     // Never drop below one covered candidate: the front is (or dominates)
@@ -516,72 +571,104 @@ void GeneralEngine::capture_anchor(CkptKind kind) {
   refresh_best_anchor();
 }
 
-namespace {
+CheckpointRecord GeneralEngine::build_promoted_record(
+    const AnchorCandidate& cand) const {
+  // Re-interpret the captured anchor under today's validation knowledge.
+  // The frozen pieces are the scalars and the view-log prefix; suspect
+  // flags and the validated vector are rebuilt from current state:
+  // validations are monotone stable knowledge between restores (restores
+  // clear the ring), so for any view
+  //   promoted_suspect == live_suspect && !covered(contam, validated_now)
+  // matches what normalizing a capture-time snapshot would produce.
+  CheckpointRecord rec;
+  rec.kind = cand.kind;
+  rec.owner = self();
+  rec.established_at = cand.captured_at;
+  rec.state_time = cand.captured_at;
+  rec.dirty_bit = false;  // promoted anchors are clean states
+  rec.ndc = cand.ndc;
+  rec.app_state = cand.app_state;
+  rec.transport_state = cand.transport_state;
+  rec.unacked.assign(cand.unacked.begin(), cand.unacked.end());
 
-// Re-interpret a captured anchor under today's validation knowledge: the
-// snapshot's view flags and dirty bit were frozen at capture time, but
-// validations are monotone stable knowledge — a restored process must not
-// forget them, and its views must agree with peers that already upgraded.
-Bytes normalize_anchor_state(const Bytes& state, const ContamVector& known) {
-  ByteReader r(state);
   ByteWriter w;
-  w.u64(r.u64());      // msg_sn
-  w.u8(r.u8());        // takeover flag
-  (void)r.u8();        // dirty bit: recomputed below
-  ContamVector absorbed = contam_deserialize(r);
-  ContamVector validated = contam_deserialize(r);
-  contam_merge(validated, known);
-  const bool still_dirty = !contam_covered(absorbed, validated);
-  if (!still_dirty) absorbed.clear();
+  w.u64(cand.msg_sn);
+  w.u8(cand.takeover_done ? 1 : 0);
+  const bool still_dirty = !contam_covered(cand.absorbed, validated_);
   w.u8(still_dirty ? 1 : 0);
-  contam_serialize(absorbed, w);
-  contam_serialize(validated, w);
-  const std::uint32_t logs = r.u32();
+  if (still_dirty) {
+    contam_serialize(cand.absorbed, w);
+  } else {
+    contam_serialize(ContamVector{}, w);
+  }
+  contam_serialize(validated_, w);
+  // Shadow suppression log at capture: entries carry monotone SNs, so the
+  // capture-time log is exactly the live entries with sn <= cand.msg_sn
+  // (entries reclaimed since were validated — a restore would drop them
+  // at replay anyway, because the promoted record carries validated_).
+  std::uint32_t logs = 0;
+  for (const Message& m : msg_log_) {
+    if (m.sn <= cand.msg_sn) ++logs;
+  }
   w.u32(logs);
-  for (std::uint32_t i = 0; i < logs; ++i) {
-    Message::deserialize(r).serialize(w);
+  for (const Message& m : msg_log_) {
+    if (m.sn <= cand.msg_sn) m.serialize(w);
   }
-  for (int pass = 0; pass < 2; ++pass) {
-    const std::uint32_t n = r.u32();
-    w.u32(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      w.u32(r.u32());           // peer
-      w.u64(r.u64());           // transport_seq
-      w.u64(r.u64());           // sn
-      w.u8(r.u8());             // kind
-      bool suspect = r.u8() != 0;
-      ContamVector cv = contam_deserialize(r);
-      if (suspect && contam_covered(cv, validated)) suspect = false;
+  auto write_prefix = [this, &w](const SmallVec<GView, 8>& views,
+                                 std::uint32_t len) {
+    w.u32(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      const GView& v = views[i];
+      w.u32(v.peer.value());
+      w.u64(v.transport_seq);
+      w.u64(v.sn);
+      w.u8(static_cast<std::uint8_t>(v.kind));
+      const bool suspect = v.suspect && !contam_covered(v.contam, validated_);
       w.u8(suspect ? 1 : 0);
-      contam_serialize(cv, w);
+      contam_serialize(v.contam, w);
     }
-  }
-  w.bytes_raw(r.rest_view());
-  return w.take();
+  };
+  write_prefix(sent_views_, cand.sent_len);
+  write_prefix(recv_views_, cand.recv_len);
+  w.u32(static_cast<std::uint32_t>(failed_over_.size()));
+  for (auto c : failed_over_) w.u32(c);
+  rec.protocol_state = w.take();
+  return rec;
 }
 
-}  // namespace
-
 void GeneralEngine::refresh_best_anchor() {
-  // Newest candidate whose captured dependencies are fully validated.
-  for (auto it = anchor_candidates_.rbegin();
-       it != anchor_candidates_.rend(); ++it) {
-    if (contam_covered(it->absorbed_at, validated_)) {
-      CheckpointRecord promoted = it->record;
-      promoted.protocol_state =
-          normalize_anchor_state(promoted.protocol_state, validated_);
-      promoted.dirty_bit = false;  // promoted anchors are clean states
-      services_.vstore->save(std::move(promoted));
-      // Older candidates are dominated.
-      const auto keep_from =
-          anchor_candidates_.size() -
-          static_cast<std::size_t>(it - anchor_candidates_.rbegin()) - 1;
+  // Newest candidate whose captured dependencies are fully validated
+  // settles at the front of the ring; everything older is dominated and
+  // dropped. The promoted record itself is NOT serialized here — that
+  // happens in materialize_anchor() when latest_volatile() is read.
+  //
+  // Invariant maintained for materialize_anchor(): coverage only changes
+  // inside apply_validation() and capture_anchor(), both of which call
+  // this refresh — so between refreshes, candidate 0 is covered iff any
+  // candidate is, and it is then the newest covered one.
+  for (std::size_t i = anchor_candidates_.size(); i-- > 0;) {
+    const AnchorCandidate& cand = anchor_candidates_[i];
+    if (!contam_covered(cand.absorbed_at, validated_)) continue;
+    if (i > 0) {
       anchor_candidates_.erase(anchor_candidates_.begin(),
                                anchor_candidates_.begin() +
-                                   static_cast<std::ptrdiff_t>(keep_from));
-      return;
+                                   static_cast<std::ptrdiff_t>(i));
     }
+    return;
   }
+}
+
+void GeneralEngine::materialize_anchor() const {
+  if (anchor_candidates_.empty()) return;
+  const AnchorCandidate& cand = anchor_candidates_[0];
+  if (!contam_covered(cand.absorbed_at, validated_)) return;
+  if (cand.serial == promoted_serial_ &&
+      validated_version_ == promoted_validated_version_) {
+    return;
+  }
+  services_.vstore->save(build_promoted_record(cand));
+  promoted_serial_ = cand.serial;
+  promoted_validated_version_ = validated_version_;
 }
 
 void GeneralEngine::restore_from_record(const CheckpointRecord& record) {
@@ -592,6 +679,7 @@ void GeneralEngine::restore_from_record(const CheckpointRecord& record) {
   deferred_.clear();
   deferred_acks_.clear();
   anchor_candidates_.clear();
+  promoted_serial_ = ~std::uint64_t{0};
   blocking_ = false;
 }
 
@@ -601,8 +689,7 @@ std::size_t GeneralEngine::takeover() {
   takeover_done_ = true;
   trace(TraceKind::kTakeover);
   std::size_t replayed = 0;
-  auto it = validated_.find(component_);
-  const MsgSeq vr = it == validated_.end() ? 0 : it->second;
+  const MsgSeq vr = validated_.watermark(component_);
   SmallVec<Message, 4> log = std::move(msg_log_);
   msg_log_.clear();  // moved-from is already empty; be explicit
   for (Message& m : log) {
@@ -661,14 +748,18 @@ void GeneralEngine::restore_protocol_state(const Bytes& state) {
   dirty_bit_ = r.u8() != 0;
   absorbed_ = contam_deserialize(r);
   validated_ = contam_deserialize(r);
+  ++validated_version_;  // restored knowledge invalidates promotion cache
   msg_log_.clear();
   const std::uint32_t logs = r.u32();
   msg_log_.reserve(logs);
   for (std::uint32_t i = 0; i < logs; ++i) {
     msg_log_.push_back(Message::deserialize(r));
   }
-  auto read_views = [&r](SmallVec<GView, 8>& views) {
+  suspect_views_ = 0;
+  auto read_views = [this, &r](SmallVec<GView, 8>& views,
+                               SmallVec<std::uint32_t, 8>& index) {
     views.clear();
+    index.clear();
     const std::uint32_t n = r.u32();
     views.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -678,15 +769,20 @@ void GeneralEngine::restore_protocol_state(const Bytes& state) {
       v.sn = r.u64();
       v.kind = static_cast<MsgKind>(r.u8());
       v.suspect = r.u8() != 0;
+      if (v.suspect) {
+        ++suspect_views_;
+        index.push_back(i);
+      }
       v.contam = contam_deserialize(r);
       views.push_back(std::move(v));
     }
   };
-  read_views(sent_views_);
-  read_views(recv_views_);
+  read_views(sent_views_, suspect_sent_);
+  read_views(recv_views_, suspect_recv_);
   failed_over_.clear();
   const std::uint32_t fo = r.u32();
-  for (std::uint32_t i = 0; i < fo; ++i) failed_over_.insert(r.u32());
+  failed_over_.reserve(fo);
+  for (std::uint32_t i = 0; i < fo; ++i) mark_component_failed_over(r.u32());
 }
 
 }  // namespace synergy

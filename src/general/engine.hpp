@@ -18,13 +18,17 @@
 // views upgrade when their whole vector is covered, and acknowledgments
 // are validation-gated. Implements CheckpointableProcess, so the adapted
 // TB engine coordinates it unchanged.
+//
+// Hot-path layout (DESIGN.md §17): every per-step container is inline
+// small-vector storage — contamination vectors, the deferred queue, the
+// fail-over set, the anchor ring — and anchor candidates are *lazy*: a
+// capture records scalars, view-log prefix lengths and refcounted
+// app/transport snapshots; the full protocol state serializes once, at
+// promotion, instead of on every absorption.
 #pragma once
 
-#include <deque>
 #include <optional>
-#include <set>
 #include <variant>
-#include <vector>
 
 #include "common/small_vec.hpp"
 #include "general/contam.hpp"
@@ -75,6 +79,7 @@ class GeneralEngine final : public CheckpointableProcess {
   TimePoint current_time() const override { return services_.now(); }
   bool contamination_flag() const override;
   const std::optional<CheckpointRecord>& latest_volatile() const override {
+    materialize_anchor();
     return services_.vstore->latest();
   }
   CheckpointRecord make_record(CkptKind kind) const override;
@@ -105,9 +110,7 @@ class GeneralEngine final : public CheckpointableProcess {
   /// System-wide reconfiguration knowledge: component `c` failed over to
   /// its shadow; its retired active process gets no further traffic.
   /// Persisted in the protocol state (survives rollbacks).
-  void mark_component_failed_over(std::uint32_t c) {
-    failed_over_.insert(c);
-  }
+  void mark_component_failed_over(std::uint32_t c);
 
   void restore_from_record(const CheckpointRecord& record);
   Bytes snapshot_protocol_state() const;
@@ -121,6 +124,12 @@ class GeneralEngine final : public CheckpointableProcess {
   const SmallVec<Message, 4>& suppressed_log() const { return msg_log_; }
   MsgSeq msg_sn() const { return msg_sn_; }
   bool app_tainted() const { return services_.app->tainted(); }
+  /// Anchor-ring occupancy (bounded by kMaxAnchorCandidates; tested).
+  std::size_t anchor_candidate_count() const {
+    return anchor_candidates_.size();
+  }
+
+  static constexpr std::size_t kMaxAnchorCandidates = 64;
 
  private:
   struct SendReq {
@@ -166,8 +175,35 @@ class GeneralEngine final : public CheckpointableProcess {
   // an active) and, on each validation, promotes the newest candidate
   // whose captured dependency vector is fully covered. The promoted
   // record is what latest_volatile() / the TB copy path sees.
+  //
+  // A candidate does NOT hold a serialized record. The engine's live view
+  // logs are append-only between restores and validations are monotone, so
+  // a candidate is fully determined by scalars, the capture-time absorbed
+  // vector, the view-log prefix lengths, and the (refcounted) app and
+  // transport snapshots: the promoted protocol state is rebuilt at
+  // promotion time with view suspect flags recomputed under *today's*
+  // validation knowledge — identical to normalizing a frozen snapshot,
+  // because suspect == initial_dirty && !covered(contam, validated_now)
+  // regardless of when the flag was frozen.
+  struct AnchorCandidate {
+    ContamVector absorbed_at;  ///< dependencies of the captured state
+    ContamVector absorbed;     ///< absorbed_ at capture (record contents)
+    CkptKind kind;
+    TimePoint captured_at;
+    StableSeq ndc;
+    MsgSeq msg_sn;
+    bool takeover_done;
+    std::uint64_t serial;       ///< promotion identity (skip re-serializing)
+    std::uint32_t sent_len;     ///< sent_views_ prefix at capture
+    std::uint32_t recv_len;     ///< recv_views_ prefix at capture
+    SharedBytes app_state;
+    SharedBytes transport_state;
+    SmallVec<Message, 4> unacked;
+  };
   void capture_anchor(CkptKind kind);
   void refresh_best_anchor();
+  void materialize_anchor() const;
+  CheckpointRecord build_promoted_record(const AnchorCandidate& cand) const;
 
   void send_internal_multicast(std::uint64_t payload, bool tainted);
   void trace(TraceKind kind, std::string_view detail = {}, std::uint64_t a = 0,
@@ -190,18 +226,29 @@ class GeneralEngine final : public CheckpointableProcess {
   std::uint32_t epoch_ = 0;
   std::uint32_t fence_all_ = 0;
   std::uint32_t fence_dirty_ = 0;
-  std::deque<Deferred> deferred_;
-  std::vector<AckKey> deferred_acks_;
-  struct AnchorCandidate {
-    ContamVector absorbed_at;  ///< dependencies of the captured state
-    CheckpointRecord record;
-  };
-  static constexpr std::size_t kMaxAnchorCandidates = 64;
-  std::deque<AnchorCandidate> anchor_candidates_;
+  SmallVec<Deferred, 4> deferred_;
+  SmallVec<AckKey, 8> deferred_acks_;
+  SmallVec<AnchorCandidate, 4> anchor_candidates_;
   SmallVec<Message, 4> msg_log_;  // shadow suppression log
-  std::set<std::uint32_t> failed_over_;
+  SmallVec<std::uint32_t, 8> failed_over_;  // sorted component indices
   SmallVec<GView, 8> sent_views_;
   SmallVec<GView, 8> recv_views_;
+  std::uint32_t suspect_views_ = 0;  ///< suspect entries across both logs
+  // Positions of the suspect entries, so a validation upgrades by walking
+  // the (small) uncovered window instead of the whole append-only logs.
+  // Indices stay valid between restores because the logs only append.
+  SmallVec<std::uint32_t, 8> suspect_sent_;
+  SmallVec<std::uint32_t, 8> suspect_recv_;
+  // Promotion is lazy twice over: refresh_best_anchor() only reorders the
+  // ring (the newest covered candidate settles at the front), and the
+  // promoted record itself serializes when latest_volatile() is *read* —
+  // the TB copy path and recovery, not every validation. The stamps
+  // record which (candidate, validation-knowledge) pair the vstore record
+  // was built from, so repeated reads cost nothing.
+  std::uint64_t candidate_serial_ = 0;
+  std::uint64_t validated_version_ = 0;
+  mutable std::uint64_t promoted_serial_ = ~std::uint64_t{0};
+  mutable std::uint64_t promoted_validated_version_ = ~std::uint64_t{0};
   std::function<StableSeq()> ndc_provider_ = [] { return StableSeq{0}; };
   std::function<void()> contamination_cleared_;
 };

@@ -72,6 +72,16 @@ GeneralSystem::GeneralSystem(Topology topology, const GeneralConfig& config)
     node->tb->set_resync_requester([this] { clocks_->resync_all(); });
     nodes_.push_back(std::move(node));
   }
+
+  comp_routes_.resize(topology_.component_count());
+  for (std::uint32_t c = 0; c < topology_.component_count(); ++c) {
+    comp_routes_[c].active =
+        nodes_[topology_.active_of(c).value()]->engine.get();
+    if (topology_.has_shadow(c)) {
+      comp_routes_[c].shadow =
+          nodes_[topology_.shadow_of(c).value()]->engine.get();
+    }
+  }
 }
 
 GeneralSystem::~GeneralSystem() = default;
@@ -101,13 +111,12 @@ void GeneralSystem::arm_workload(std::uint32_t component, TimePoint until) {
     if (at >= until) return;
     sim_.schedule_at(at, [this, component, until, rate, external,
                           self_ref]() mutable {
+      // One sim event drives the active/shadow pair through the flat
+      // route — the pair consumes the same input in the same tick.
       const std::uint64_t input = rng_->next();
-      nodes_[topology_.active_of(component).value()]->engine->on_app_send(
-          external, input);
-      if (topology_.has_shadow(component)) {
-        nodes_[topology_.shadow_of(component).value()]->engine->on_app_send(
-            external, input);
-      }
+      const CompRoute& route = comp_routes_[component];
+      route.active->on_app_send(external, input);
+      if (route.shadow) route.shadow->on_app_send(external, input);
       self_ref(rate, external, self_ref);
     });
   };

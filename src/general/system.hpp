@@ -109,6 +109,15 @@ class GeneralSystem {
     bool crashed = false;
   };
 
+  /// Flat workload-dispatch route: one entry per component, resolved to
+  /// raw engine pointers at construction so the per-event path (the
+  /// hottest callback in a large topology) is two indirect calls, not a
+  /// topology lookup plus unique_ptr chains.
+  struct CompRoute {
+    GeneralEngine* active = nullptr;
+    GeneralEngine* shadow = nullptr;  ///< null for unguarded components
+  };
+
   void arm_workload(std::uint32_t component, TimePoint until);
   void on_at_failure(ProcessId detector);
   void recover_hw(TimePoint fault_time, ProcessId victim);
@@ -124,6 +133,7 @@ class GeneralSystem {
   std::unique_ptr<Network> net_;
   std::unique_ptr<ClockEnsemble> clocks_;
   std::vector<std::unique_ptr<GNode>> nodes_;
+  std::vector<CompRoute> comp_routes_;
   TimePoint horizon_;
   bool started_ = false;
   bool hw_pending_ = false;

@@ -19,10 +19,29 @@ Topology::Topology(std::vector<ComponentSpec> components)
       SYNERGY_EXPECTS(components_[c].fault_activation_per_send == 0.0);
     }
   }
-}
-
-std::size_t Topology::process_count() const {
-  return components_.size() + shadow_count_;
+  // Flat process -> component map: actives are ids [0, C), shadows are
+  // appended in shadow-slot order.
+  component_of_.assign(components_.size() + shadow_count_, 0);
+  for (std::uint32_t c = 0; c < components_.size(); ++c) {
+    component_of_[c] = c;
+    if (shadow_index_[c] >= 0) {
+      component_of_[components_.size() +
+                    static_cast<std::size_t>(shadow_index_[c])] = c;
+    }
+  }
+  // Resolved multicast fan-outs.
+  peer_routes_.resize(components_.size());
+  for (std::uint32_t c = 0; c < components_.size(); ++c) {
+    peer_routes_[c].reserve(components_[c].peers.size());
+    for (const auto peer : components_[c].peers) {
+      PeerRoute route;
+      route.component = peer;
+      route.active = active_of(peer);
+      route.has_shadow = shadow_index_[peer] >= 0;
+      if (route.has_shadow) route.shadow = shadow_of(peer);
+      peer_routes_[c].push_back(route);
+    }
+  }
 }
 
 ProcessId Topology::active_of(std::uint32_t c) const {
@@ -42,18 +61,18 @@ ProcessId Topology::shadow_of(std::uint32_t c) const {
 }
 
 std::uint32_t Topology::component_of(ProcessId p) const {
-  if (p.value() < components_.size()) return p.value();
-  const auto slot =
-      static_cast<std::int32_t>(p.value() - components_.size());
-  for (std::uint32_t c = 0; c < components_.size(); ++c) {
-    if (shadow_index_[c] == slot) return c;
-  }
-  SYNERGY_UNREACHABLE("process id outside topology");
+  SYNERGY_EXPECTS(p.value() < component_of_.size());
+  return component_of_[p.value()];
 }
 
 bool Topology::is_shadow(ProcessId p) const {
   return p.value() >= components_.size() &&
          p.value() < process_count();
+}
+
+const std::vector<PeerRoute>& Topology::peer_routes(std::uint32_t c) const {
+  SYNERGY_EXPECTS(c < peer_routes_.size());
+  return peer_routes_[c];
 }
 
 std::string Topology::process_name(ProcessId p) const {

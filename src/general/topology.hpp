@@ -8,6 +8,11 @@
 // and an arbitrary directed internal-message topology. Every
 // low-confidence component gets an active/shadow pair; high-confidence
 // components run as single processes.
+//
+// Routing is precomputed into flat index maps at construction: process ->
+// component is an O(1) array lookup (not a scan over shadow slots), and
+// each component's multicast fan-out is a contiguous PeerRoute array the
+// engine walks without any per-peer active_of/shadow_of recomputation.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +36,15 @@ struct ComponentSpec {
   double fault_activation_per_send = 0.0;
 };
 
+/// One multicast destination, fully resolved: the peer component, its
+/// active process, and (when the peer is guarded) its shadow twin.
+struct PeerRoute {
+  std::uint32_t component = 0;
+  ProcessId active;
+  ProcessId shadow;  ///< valid iff has_shadow
+  bool has_shadow = false;
+};
+
 class Topology {
  public:
   explicit Topology(std::vector<ComponentSpec> components);
@@ -40,7 +54,7 @@ class Topology {
 
   /// Total process count: one per component plus one shadow per
   /// low-confidence component.
-  std::size_t process_count() const;
+  std::size_t process_count() const { return component_of_.size(); }
 
   /// The active process id of component `c` (== c).
   ProcessId active_of(std::uint32_t c) const;
@@ -50,11 +64,14 @@ class Topology {
   bool has_shadow(std::uint32_t c) const;
 
   /// Component owning process `p` (shadow ids map back to their
-  /// component).
+  /// component). O(1): precomputed flat map.
   std::uint32_t component_of(ProcessId p) const;
 
   /// Whether `p` is a shadow process.
   bool is_shadow(ProcessId p) const;
+
+  /// Resolved multicast fan-out of component `c` (flat, construction-time).
+  const std::vector<PeerRoute>& peer_routes(std::uint32_t c) const;
 
   std::string process_name(ProcessId p) const;
 
@@ -73,6 +90,8 @@ class Topology {
  private:
   std::vector<ComponentSpec> components_;
   std::vector<std::int32_t> shadow_index_;  // component -> shadow slot or -1
+  std::vector<std::uint32_t> component_of_;  // process -> component
+  std::vector<std::vector<PeerRoute>> peer_routes_;  // component -> fan-out
   std::size_t shadow_count_ = 0;
 };
 

@@ -82,7 +82,7 @@ void ReliableEndpoint::restore_state(const Bytes& state) {
 
 void ReliableEndpoint::on_network_delivery(const Message& m) {
   if (m.kind == MsgKind::kAck) {
-    core_.on_ack(m.ack_of);
+    core_.on_ack(m.sender, m.ack_of);
     return;
   }
   handler_(m);

@@ -64,8 +64,8 @@ class Transport {
   /// clears).
   virtual void ack(const Message& m) = 0;
 
-  /// Unacked-send log (ordered by transport_seq). A borrowed view into
-  /// the transport's own storage: valid until the next send/ack/restore.
+  /// Unacked-send log (in send order). A borrowed view into the
+  /// transport's own storage: valid until the next send/ack/restore.
   /// Callers that need to keep it (checkpoint records) copy it out.
   virtual std::span<const Message> unacked() const = 0;
 

@@ -6,13 +6,21 @@
 // matching, duplicate suppression, and checkpointable snapshots. The host
 // supplies only the wire (how a stamped message physically leaves).
 //
+// Sequencing is per destination stream: transport_seq counts messages on
+// the (sender -> receiver) pair, not across all of a sender's traffic,
+// and acknowledgments ride unstamped (they are idempotent control
+// messages — never dedup'd, never logged, never re-sent). A receiver
+// therefore observes a dense 1..N stream from each peer, which lets the
+// per-peer consumption set compress to a watermark plus a sparse
+// reorder tail — "every seq <= low is consumed" plus the few seqs beyond
+// the first in-flight gap. That keeps the dedup state (and every
+// checkpointed transport snapshot) O(peers), instead of growing with the
+// total message count of the run — the term that made long large-topology
+// missions quadratic.
+//
 // Storage is allocation-lean (every application send and consumption used
-// to cost a map/set node): the unacked log is a small vector kept sorted
-// by transport_seq (appends are monotone; acks binary-search), and the
-// per-peer consumption sets are sorted small vectors of seqs (arrivals
-// are near-monotone per sender, so inserts land at or near the tail).
-// Both keep the exact iteration order of the ordered containers they
-// replaced, so snapshot bytes and checkpoint contents are unchanged.
+// to cost a map/set node): the unacked log is a small vector in send
+// order, the stream counters and consumption sets sorted small vectors.
 #pragma once
 
 #include <cstdint>
@@ -32,13 +40,15 @@ class TransportCore {
 
   ProcessId self() const { return self_; }
 
-  /// Stamp sender + a fresh transport_seq on `m` and record it in the
-  /// unacked log when it expects an acknowledgment (non-ack, non-device).
-  /// The caller puts the returned message on the wire.
+  /// Stamp sender + the next transport_seq of the (self -> receiver)
+  /// stream on `m` and record it in the unacked log when it expects an
+  /// acknowledgment (non-ack, non-device). Acks pass through unstamped
+  /// (transport_seq 0). The caller puts the returned message on the wire.
   Message prepare_send(Message m);
 
-  /// An acknowledgment arrived: settle the matching unacked entry.
-  void on_ack(std::uint64_t ack_of);
+  /// An acknowledgment from `from` arrived: settle the matching unacked
+  /// entry of the (self -> from) stream.
+  void on_ack(ProcessId from, std::uint64_t ack_of);
 
   /// Build the acknowledgment for a received message (empty optionality is
   /// signalled by kDeviceId senders — the caller skips those).
@@ -47,8 +57,8 @@ class TransportCore {
   bool already_consumed(const Message& m) const;
   void mark_consumed(const Message& m);
 
-  /// Unacked-send log, ordered by transport_seq. Borrowed view into the
-  /// core's own storage — valid until the next send/ack/restore.
+  /// Unacked-send log, in send order. Borrowed view into the core's own
+  /// storage — valid until the next send/ack/restore.
   std::span<const Message> unacked() const {
     return {unacked_.data(), unacked_.size()};
   }
@@ -83,19 +93,28 @@ class TransportCore {
   }
 
  private:
-  /// Consumption log for one peer: sorted transport seqs. Peers are kept
-  /// sorted by id so snapshot iteration matches the old std::map order.
+  /// Consumption log for one peer: every transport seq <= `low` is
+  /// consumed, plus the sorted seqs in `tail` (all > low + 1). Peers are
+  /// kept sorted by id so snapshot iteration is deterministic.
   struct PeerConsumed {
     std::uint32_t peer;
-    SmallVec<std::uint64_t, 8> seqs;
+    std::uint64_t low = 0;
+    SmallVec<std::uint64_t, 8> tail;
+  };
+  /// Next transport_seq of one outgoing (self -> dest) stream. Sorted by
+  /// dest id.
+  struct DestStream {
+    std::uint32_t dest;
+    std::uint64_t next = 1;
   };
   const PeerConsumed* find_peer(std::uint32_t peer) const;
   PeerConsumed& peer_entry(std::uint32_t peer);
+  std::uint64_t& next_seq_for(std::uint32_t dest);
 
   ProcessId self_;
-  std::uint64_t next_transport_seq_ = 1;
+  SmallVec<DestStream, 4> streams_;  // sorted by dest id
   std::uint64_t version_ = 0;
-  SmallVec<Message, 4> unacked_;  // sorted by transport_seq
+  SmallVec<Message, 4> unacked_;  // send order
   std::size_t unacked_high_water_ = 0;
   SmallVec<PeerConsumed, 4> consumed_;  // sorted by peer id
   mutable std::uint64_t dups_ = 0;

@@ -52,7 +52,7 @@ class ThreadTransport final : public Transport {
   }
 
   /// Ack routing from the mailbox loop.
-  void on_ack(const Message& m) { core_.on_ack(m.ack_of); }
+  void on_ack(const Message& m) { core_.on_ack(m.sender, m.ack_of); }
 
  private:
   ThreadBus& bus_;

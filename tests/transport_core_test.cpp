@@ -41,10 +41,33 @@ TEST(TransportCoreTest, UnackedTracksNonAckNonDeviceOnly) {
 TEST(TransportCoreTest, AckSettlesEntry) {
   TransportCore core(kP1Act);
   const Message m = core.prepare_send(internal_to(kP2));
-  core.on_ack(m.transport_seq);
+  core.on_ack(kP2, m.transport_seq);
   EXPECT_EQ(core.unacked_count(), 0u);
-  core.on_ack(m.transport_seq);  // idempotent
+  core.on_ack(kP2, m.transport_seq);  // idempotent
   EXPECT_EQ(core.unacked_count(), 0u);
+}
+
+TEST(TransportCoreTest, AckMatchesPerDestinationStream) {
+  TransportCore core(kP1Act);
+  const Message to_p2 = core.prepare_send(internal_to(kP2));
+  const Message to_sdw = core.prepare_send(internal_to(kP1Sdw));
+  // Independent streams: both firsts carry seq 1, but an ack from P2
+  // settles only the P2 entry.
+  EXPECT_EQ(to_p2.transport_seq, to_sdw.transport_seq);
+  core.on_ack(kP2, to_p2.transport_seq);
+  EXPECT_EQ(core.unacked_count(), 1u);
+  core.on_ack(kP1Sdw, to_sdw.transport_seq);
+  EXPECT_EQ(core.unacked_count(), 0u);
+}
+
+TEST(TransportCoreTest, AcksRideUnstampedAndOffTheStream) {
+  TransportCore core(kP1Act);
+  Message ack;
+  ack.kind = MsgKind::kAck;
+  ack.receiver = kP2;
+  EXPECT_EQ(core.prepare_send(ack).transport_seq, 0u);
+  // The data stream to the same peer is unperturbed: dense from 1.
+  EXPECT_EQ(core.prepare_send(internal_to(kP2)).transport_seq, 1u);
 }
 
 TEST(TransportCoreTest, MakeAckAddressesSender) {

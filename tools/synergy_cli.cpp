@@ -5,6 +5,7 @@
 //   synergy rollback [options]  Figure-7 rollback-distance sweep (CSV)
 //   synergy model    [options]  evaluate the closed-form rollback model
 //   synergy chaos    [options]  seeded fault-injection campaign
+//   synergy general  [options]  generalized N-component topology campaign
 //
 // Run `synergy help` for the full option list. Examples:
 //
@@ -35,6 +36,7 @@
 #include "core/experiment.hpp"
 #include "core/pool.hpp"
 #include "core/system.hpp"
+#include "general/campaign.hpp"
 #include "sweep/fragment.hpp"
 #include "sweep/runner.hpp"
 #include "trace/export.hpp"
@@ -53,6 +55,7 @@ USAGE
   synergy rollback [options]  rollback-distance sweep, CSV on stdout
   synergy model    [options]  closed-form rollback model
   synergy chaos    [options]  seeded fault-injection campaign
+  synergy general  [options]  generalized N-component topology campaign
   synergy help
 
 RUN OPTIONS
@@ -165,6 +168,25 @@ CHAOS OPTIONS
   --verbose           one summary line per mission
   A failing mission prints its seed and full schedule JSON; re-running
   with --replay SEED reproduces it exactly.
+
+GENERAL OPTIONS
+  --topology T        star | chain (default star)
+  --size N            star: leaf count; chain: length (default 64)
+  --reps N            missions to run (default 8)
+  --seed N            campaign seed; mission seeds derive from it (default 1)
+  --duration SECS     mission length (default 60)
+  --internal-rate R   per-component internal msgs/s (default 2.0)
+  --external-rate R   per-component external msgs/s (default 0.3)
+  --interval SECS     TB checkpoint interval (default 10)
+  --no-hw             skip the seeded per-mission node crash
+  --no-sw             skip the seeded per-mission design-fault activation
+  --jobs N            worker threads; 0 = all hardware threads (default 1).
+                      Reports and per-mission output are bit-identical for
+                      every value.
+  --json FILE         write campaign throughput as synergy-bench-v1 JSON
+  --verbose           one summary line per mission
+  Every mission ends with a recovery-line audit (consistency +
+  recoverability); any violation fails the mission and the campaign.
 )");
   std::exit(code);
 }
@@ -824,6 +846,73 @@ int cmd_chaos(int argc, char** argv) {
   return result.failed == 0 ? 0 : 1;
 }
 
+int cmd_general(int argc, char** argv) {
+  GeneralCampaignConfig config;
+  std::string json_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--topology") {
+      const std::string t = arg_value(argc, argv, i);
+      if (t == "star") config.shape = GeneralShape::kStar;
+      else if (t == "chain") config.shape = GeneralShape::kChain;
+      else {
+        std::fprintf(stderr, "unknown topology: %s (expected star | chain)\n",
+                     t.c_str());
+        usage(2);
+      }
+    }
+    else if (a == "--size") config.size = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--reps") config.reps = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--seed") config.seed = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--duration") config.mission = parse_seconds("--duration", arg_value(argc, argv, i));
+    else if (a == "--internal-rate") config.internal_rate = std::atof(arg_value(argc, argv, i));
+    else if (a == "--external-rate") config.external_rate = std::atof(arg_value(argc, argv, i));
+    else if (a == "--interval") config.tb_interval = parse_seconds("--interval", arg_value(argc, argv, i));
+    else if (a == "--no-hw") config.inject_hw = false;
+    else if (a == "--no-sw") config.inject_sw = false;
+    else if (a == "--jobs") config.jobs = std::strtoull(arg_value(argc, argv, i), nullptr, 10);
+    else if (a == "--json") json_path = arg_value(argc, argv, i);
+    else if (a == "--verbose") config.verbose = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(2);
+    }
+  }
+  if (config.size < (config.shape == GeneralShape::kChain ? 2u : 1u)) {
+    std::fprintf(stderr, "--size too small for the chosen topology\n");
+    usage(2);
+  }
+  if (config.reps == 0) {
+    std::fprintf(stderr, "--reps must be positive\n");
+    usage(2);
+  }
+
+  const GeneralCampaignResult result =
+      run_general_campaign(config, &std::cout);
+
+  if (!json_path.empty()) {
+    bench::BenchJsonWriter writer;
+    char name[128];
+    std::snprintf(name, sizeof(name), "general_campaign/%s-%zu/reps=%zu",
+                  to_string(config.shape), config.size, config.reps);
+    const double wall_ns = result.wall_seconds * 1e9;
+    writer.add({name, result.events_total,
+                result.events_total > 0
+                    ? wall_ns / static_cast<double>(result.events_total)
+                    : 0.0,
+                result.events_per_sec});
+    writer.set_counter("events_total", result.events_total);
+    writer.set_counter("oracle_violations", result.oracle_violations);
+    if (!writer.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("bench json written to %s\n", json_path.c_str());
+  }
+  return result.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -834,6 +923,7 @@ int main(int argc, char** argv) {
   if (cmd == "rollback") return cmd_rollback(argc, argv);
   if (cmd == "model") return cmd_model(argc, argv);
   if (cmd == "chaos") return cmd_chaos(argc, argv);
+  if (cmd == "general") return cmd_general(argc, argv);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") usage(0);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   usage(2);
